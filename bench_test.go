@@ -1,0 +1,323 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per table
+// and figure) plus micro- and ablation benchmarks for the design choices
+// called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks run reduced-scale replicas of the corresponding
+// experiment and report the headline quantity of that figure as a custom
+// metric, so a benchmark run doubles as a sanity check of the reproduction
+// shapes. Full-scale regeneration is `go run ./cmd/hirepsim -exp all`.
+package hirep_test
+
+import (
+	"testing"
+
+	"hirep"
+	"hirep/internal/onion"
+	"hirep/internal/pkc"
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+// benchParams is the reduced experiment scale used by the per-figure benches.
+func benchParams() hirep.Params {
+	p := hirep.QuickParams()
+	p.NetworkSize = 150
+	p.Transactions = 50
+	p.Replicas = 1
+	p.ActiveRequestors = 6
+	p.ProviderPool = 30
+	p.SampleEvery = 10
+	return p
+}
+
+// BenchmarkTable1 regenerates Table 1 (simulation parameters).
+func BenchmarkTable1(b *testing.B) {
+	p := hirep.PaperParams()
+	for i := 0; i < b.N; i++ {
+		res, err := hirep.Overhead(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+		_ = p
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 and reports hiREP's traffic as a
+// fraction of voting-2 (the paper claims < 0.5).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hirep.Fig5(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Table.NumRows() == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (MSE vs transactions).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hirep.Fig6(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (MSE vs malicious ratio).
+func BenchmarkFig7(b *testing.B) {
+	p := benchParams()
+	p.Transactions = 30
+	for i := 0; i < b.N; i++ {
+		if _, err := hirep.Fig7(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (cumulative response time).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hirep.Fig8(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttacks regenerates the §4.2 robustness table.
+func BenchmarkAttacks(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := hirep.Attacks(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- per-transaction protocol benchmarks -----------------------------------
+
+// BenchmarkTransactionHirep measures one complete hiREP transaction (trust
+// requests through onions, aggregation, maintenance, reports) and reports the
+// §4.1 message cost per transaction.
+func BenchmarkTransactionHirep(b *testing.B) {
+	tb, err := hirep.NewTestbed(300, 0.5, hirep.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	requestor := hirep.NodeID(3)
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res := tb.System.RunTransaction(requestor, tb.System.PickCandidates(requestor))
+		msgs += res.TrustMessages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/tx")
+}
+
+// BenchmarkTransactionVoting measures one flooding poll for comparison.
+func BenchmarkTransactionVoting(b *testing.B) {
+	tb, err := hirep.NewVotingTestbed(300, 0.5, hirep.DefaultVotingConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	requestor := hirep.NodeID(3)
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res := tb.System.RunTransaction(requestor, tb.System.PickCandidates(requestor))
+		msgs += res.TrustMessages
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/tx")
+}
+
+// BenchmarkBootstrap measures the one-time trusted-agent list formation for a
+// whole network (amortized per peer).
+func BenchmarkBootstrap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hirep.NewTestbed(300, 0.5, hirep.DefaultConfig(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §4) ------------------------------------
+
+// BenchmarkAblationThreshold sweeps the expertise removal threshold and
+// reports the trained MSE, quantifying the Figure 6 hirep-4/6/8 trade-off.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, thr := range []float64{0.4, 0.6, 0.8} {
+		b.Run(map[float64]string{0.4: "thr-0.4", 0.6: "thr-0.6", 0.8: "thr-0.8"}[thr], func(b *testing.B) {
+			cfg := hirep.DefaultConfig()
+			cfg.RemoveThreshold = thr
+			cfg.MaliciousFrac = 0.4
+			var mseSum float64
+			for i := 0; i < b.N; i++ {
+				tb, err := hirep.NewTestbed(200, 0.5, cfg, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				req := hirep.NodeID(5)
+				var sq float64
+				var n int
+				for t := 0; t < 30; t++ {
+					res := tb.System.RunTransaction(req, tb.System.PickCandidates(req))
+					// Measure the first transactions: that is where the
+					// threshold/alpha choice changes how fast poor agents go
+					// (threshold 0.8 evicts after one miss, 0.4 after three).
+					if t < 8 {
+						sq += res.SqErr
+						n += res.SqN
+					}
+				}
+				mseSum += sq / float64(n)
+			}
+			b.ReportMetric(mseSum/float64(b.N), "training-mse")
+		})
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the expertise EWMA smoothing factor.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for _, alpha := range []float64{0.1, 0.3, 0.6} {
+		b.Run(map[float64]string{0.1: "alpha-0.1", 0.3: "alpha-0.3", 0.6: "alpha-0.6"}[alpha], func(b *testing.B) {
+			cfg := hirep.DefaultConfig()
+			cfg.Alpha = alpha
+			cfg.MaliciousFrac = 0.4
+			var mseSum float64
+			for i := 0; i < b.N; i++ {
+				tb, err := hirep.NewTestbed(200, 0.5, cfg, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				req := hirep.NodeID(5)
+				var sq float64
+				var n int
+				for t := 0; t < 30; t++ {
+					res := tb.System.RunTransaction(req, tb.System.PickCandidates(req))
+					// Measure the first transactions: that is where the
+					// threshold/alpha choice changes how fast poor agents go
+					// (threshold 0.8 evicts after one miss, 0.4 after three).
+					if t < 8 {
+						sq += res.SqErr
+						n += res.SqN
+					}
+				}
+				mseSum += sq / float64(n)
+			}
+			b.ReportMetric(mseSum/float64(b.N), "training-mse")
+		})
+	}
+}
+
+// BenchmarkAblationTokens sweeps the agent-list request token budget and
+// reports bootstrap maintenance traffic per peer.
+func BenchmarkAblationTokens(b *testing.B) {
+	for _, tokens := range []int{5, 10, 20} {
+		b.Run(map[int]string{5: "tokens-5", 10: "tokens-10", 20: "tokens-20"}[tokens], func(b *testing.B) {
+			cfg := hirep.DefaultConfig()
+			cfg.Tokens = tokens
+			for i := 0; i < b.N; i++ {
+				if _, err := hirep.NewTestbed(200, 0.5, cfg, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- cryptographic micro-benchmarks ----------------------------------------
+
+// BenchmarkOnionBuild measures real onion construction per relay count — the
+// anonymity-vs-latency design choice Figure 8 sweeps.
+func BenchmarkOnionBuild(b *testing.B) {
+	owner, _ := pkc.NewIdentity(nil)
+	for _, hops := range []int{5, 7, 10} {
+		route := make([]onion.Relay, hops)
+		for i := range route {
+			id, _ := pkc.NewIdentity(nil)
+			route[i] = onion.Relay{Addr: "addr", AP: id.Anon.Public}
+		}
+		b.Run(map[int]string{5: "relays-5", 7: "relays-7", 10: "relays-10"}[hops], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := onion.Build(owner, "owner", route, uint64(i), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOnionPeel measures one relay's peel operation.
+func BenchmarkOnionPeel(b *testing.B) {
+	owner, _ := pkc.NewIdentity(nil)
+	relay, _ := pkc.NewIdentity(nil)
+	route := []onion.Relay{{Addr: "addr", AP: relay.Anon.Public}}
+	o, err := onion.Build(owner, "owner", route, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := onion.Peel(relay.Anon, o.Blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealOpen measures the hybrid public-key encryption under every
+// onion layer and protocol payload.
+func BenchmarkSealOpen(b *testing.B) {
+	id, _ := pkc.NewIdentity(nil)
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		box, err := pkc.Seal(id.Anon.Public, msg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := id.Anon.Open(box); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignVerify measures report signing and verification.
+func BenchmarkSignVerify(b *testing.B) {
+	id, _ := pkc.NewIdentity(nil)
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := id.SignMessage(msg)
+		if !pkc.Verify(id.Sign.Public, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+// BenchmarkFloodEdgeCount measures the flood-cost analysis on a 1000-node
+// power-law graph (the Figure 5 driver).
+func BenchmarkFloodEdgeCount(b *testing.B) {
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 1000, AvgDegree: 4}, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FloodEdgeCount(topology.NodeID(i%1000), 4)
+	}
+}
+
+// BenchmarkTopologyGenerate measures power-law generation at paper scale.
+func BenchmarkTopologyGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 1000, AvgDegree: 4}, xrand.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command hirepsim regenerates the paper's evaluation: every figure (5–8),
+// Table 1, the §4.1 overhead analysis, and the §4.2 attack scenarios.
+//
+// Usage:
+//
+//	hirepsim -exp all                 # everything, paper-scale parameters
+//	hirepsim -exp fig5 -quick         # one figure at reduced scale
+//	hirepsim -exp fig7 -csv           # CSV output for plotting
+//	hirepsim -exp fig6 -n 2000 -tx 800 -replicas 5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hirep/internal/sim"
+	"hirep/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|overhead|attacks|churn|models|latency|bytes|tokens|loss|all")
+		quick    = flag.Bool("quick", false, "reduced-scale parameters (fast)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot     = flag.Bool("plot", false, "also render figures as ASCII plots")
+		n        = flag.Int("n", 0, "override network size")
+		tx       = flag.Int("tx", 0, "override transactions per replica")
+		replicas = flag.Int("replicas", 0, "override replica count")
+		seed     = flag.Int64("seed", 0, "override root seed")
+		workers  = flag.Int("workers", 0, "override worker parallelism")
+		outdir   = flag.String("outdir", "", "also write each experiment's table as <outdir>/<name>.csv")
+	)
+	flag.Parse()
+
+	p := sim.PaperParams()
+	if *quick {
+		p = sim.QuickParams()
+	}
+	if *n > 0 {
+		p.NetworkSize = *n
+	}
+	if *tx > 0 {
+		p.Transactions = *tx
+	}
+	if *replicas > 0 {
+		p.Replicas = *replicas
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *workers > 0 {
+		p.Workers = *workers
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	type runner func(sim.Params) (sim.ExpResult, error)
+	all := []struct {
+		name string
+		run  runner
+	}{
+		{"table1", func(p sim.Params) (sim.ExpResult, error) {
+			return sim.ExpResult{Name: "table1", Table: sim.Table1(p)}, nil
+		}},
+		{"fig5", sim.Fig5},
+		{"fig6", sim.Fig6},
+		{"fig7", sim.Fig7},
+		{"fig8", sim.Fig8},
+		{"overhead", sim.Overhead},
+		{"attacks", sim.Attacks},
+		{"churn", sim.Churn},
+		{"models", sim.Models},
+		{"latency", sim.Latency},
+		{"bytes", sim.BytesView},
+		{"tokens", sim.Tokens},
+		{"loss", sim.Loss},
+	}
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ranAny := false
+	for _, e := range all {
+		if !want(e.name) {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		res, err := e.run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		emit(res, *csv, *plot)
+		if *outdir != "" {
+			if err := writeCSV(*outdir, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want fig5|fig6|fig7|fig8|table1|overhead|attacks|churn|models|latency|bytes|tokens|loss|all\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeCSV stores one experiment's table under dir.
+func writeCSV(dir string, res sim.ExpResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, res.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	res.Table.RenderCSV(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+func emit(res sim.ExpResult, csv, plot bool) {
+	var t *stats.Table = res.Table
+	if csv {
+		t.RenderCSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+	if plot && len(res.Series) > 0 {
+		fmt.Println()
+		p := stats.NewPlot(res.Name, "x", "y", res.Series...)
+		p.Render(os.Stdout)
+	}
+	for _, note := range res.Notes {
+		fmt.Printf("  note: %s\n", note)
+	}
+}

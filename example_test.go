@@ -1,0 +1,38 @@
+package hirep_test
+
+import (
+	"fmt"
+
+	"hirep"
+)
+
+// ExampleNewTestbed builds a deterministic simulated deployment and runs one
+// reputation-vetted transaction.
+func ExampleNewTestbed() {
+	tb, err := hirep.NewTestbed(300, 0.6, hirep.DefaultConfig(), 42)
+	if err != nil {
+		panic(err)
+	}
+	requestor := hirep.NodeID(7)
+	res := tb.System.RunTransaction(requestor, tb.System.PickCandidates(requestor))
+	fmt.Printf("agents answered: %d\n", res.Responded)
+	fmt.Printf("picked a trustworthy provider: %v\n", res.Outcome)
+	fmt.Printf("messages spent: %d (O(c))\n", res.TrustMessages)
+	// Output:
+	// agents answered: 10
+	// picked a trustworthy provider: true
+	// messages spent: 180 (O(c))
+}
+
+// Example_bootstrap demonstrates the §3.4.1/§3.4.2 trusted-agent list
+// formation: NewTestbed runs the token/TTL walk and ranking for every peer.
+func Example_bootstrap() {
+	tb, err := hirep.NewTestbed(120, 0.5, hirep.DefaultConfig(), 7)
+	if err != nil {
+		panic(err)
+	}
+	agents := tb.System.TrustedAgentsOf(3)
+	fmt.Printf("peer 3 selected %d trusted agents after bootstrap\n", len(agents))
+	// Output:
+	// peer 3 selected 10 trusted agents after bootstrap
+}

@@ -1,0 +1,79 @@
+// Attacklab: throw the §4.2 adversaries at a running hiREP deployment —
+// list poisoning, sybil inflation of malicious agents, and a DoS that kills
+// half of the honest agents mid-run — and watch the system absorb them.
+//
+//	go run ./examples/attacklab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hirep"
+)
+
+const (
+	peers = 400
+	txns  = 160
+	seed  = 11
+)
+
+// run executes one scenario and returns (final-window MSE, good-choice rate).
+func run(name string, cfg hirep.Config, dosFrac float64) (float64, float64) {
+	tb, err := hirep.NewTestbed(peers, 0.5, cfg, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	requestors := []hirep.NodeID{5, 50, 150}
+	var sq float64
+	var n, good, window int
+	for i := 0; i < txns; i++ {
+		if dosFrac > 0 && i == txns/2 {
+			victims := tb.System.KillAgents(dosFrac)
+			fmt.Printf("  [%s] DoS at tx %d: %d honest agents taken down\n", name, i, len(victims))
+		}
+		req := requestors[i%len(requestors)]
+		res := tb.System.RunTransaction(req, tb.System.PickCandidates(req))
+		if i >= txns*3/4 {
+			sq += res.SqErr
+			n += res.SqN
+			window++
+			if res.Outcome {
+				good++
+			}
+		}
+	}
+	return sq / float64(n), float64(good) / float64(window)
+}
+
+func main() {
+	fmt.Printf("attack lab: %d peers, %d transactions per scenario (§4.2)\n\n", peers, txns)
+
+	base := hirep.DefaultConfig()
+
+	poison := base
+	poison.PoisonFrac = 0.3 // 30% of peers answer list requests with fake lists
+
+	sybil := base
+	sybil.MaliciousFrac = 0.5 // sybils inflate the malicious agent population
+
+	fmt.Printf("%-24s %12s %18s\n", "scenario", "final MSE", "good-choice rate")
+	for _, sc := range []struct {
+		name string
+		cfg  hirep.Config
+		dos  float64
+	}{
+		{"baseline (10% bad)", base, 0},
+		{"list-poison 30%", poison, 0},
+		{"sybil 50% agents", sybil, 0},
+		{"dos kill 50% honest", base, 0.5},
+	} {
+		mse, rate := run(sc.name, sc.cfg, sc.dos)
+		fmt.Printf("%-24s %12.4f %17.0f%%\n", sc.name, mse, rate*100)
+	}
+
+	fmt.Println("\nwhy the attacks fail (paper §4.2):")
+	fmt.Println("  poisoning  — rank-by-maximum blunts bad-mouthing; fake agents are filtered by expertise")
+	fmt.Println("  sybil      — each identity must earn expertise; inflation only delays convergence")
+	fmt.Println("  dos        — the agent community is large; peers refill their lists from survivors")
+}

@@ -1,0 +1,133 @@
+// Filesharing: the paper's motivating scenario (§1) — a KaZaA-style network
+// where polluters inject bogus files. Peers locate provider candidates with
+// real Gnutella-style query floods (§3.6's query process) and then vet them
+// with hiREP; the same candidate sets go through the flooding-based voting
+// baseline for comparison of polluted downloads and traffic cost.
+//
+//	go run ./examples/filesharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hirep"
+)
+
+const (
+	peers        = 500
+	polluterRate = 0.4 // 40% of providers serve polluted files
+	downloads    = 200
+	seed         = 7
+)
+
+func main() {
+	fmt.Printf("file-sharing network: %d peers, %.0f%% polluters, %d downloads\n",
+		peers, polluterRate*100, downloads)
+
+	// hiREP deployment with a shared-file catalog on top. The oracle's
+	// trustworthy fraction is the share of clean providers; polluters also
+	// lie when asked for opinions, so the malicious-evaluator fraction
+	// matches the polluter rate in both systems.
+	hcfg := hirep.DefaultConfig()
+	hcfg.MaliciousFrac = polluterRate
+	htb, err := hirep.NewTestbed(peers, 1-polluterRate, hcfg, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	search, err := htb.AttachSearch(hirep.DefaultCatalogSpec(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d titles shared across the network\n\n", len(search.Catalog.Titles()))
+
+	// Voting deployment over an identical world (same seed -> same oracle).
+	vcfg := hirep.DefaultVotingConfig()
+	vcfg.MaliciousFrac = polluterRate
+	vtb, err := hirep.NewVotingTestbed(peers, 1-polluterRate, vcfg, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A handful of heavy downloaders, as in real file-sharing workloads.
+	requestors := []hirep.NodeID{3, 17, 42, 99, 123}
+	titles := search.Catalog.Titles()
+
+	var hPolluted, vPolluted, served, unavoidable int
+	var hEarly, hLate, earlyN, lateN int
+	var hMsgs, vMsgs, queryMsgs int64
+	for i := 0; i < downloads; i++ {
+		req := requestors[i%len(requestors)]
+		// Phase 1 (§3.6): find providers with a query flood. Popular titles
+		// are requested more often.
+		title := titles[(i*7)%40] // rotate through the 40 most popular titles
+		qBefore := htb.Net.Count("gnutella/query") + htb.Net.Count("gnutella/query-hit")
+		candidates := search.FindProviders(req, title, 4, 3)
+		queryMsgs += htb.Net.Count("gnutella/query") + htb.Net.Count("gnutella/query-hit") - qBefore
+		if len(candidates) == 0 {
+			continue // nobody within TTL shares it; no download
+		}
+		served++
+		clean := false
+		for _, c := range candidates {
+			if htb.Oracle.Trustworthy(int(c)) {
+				clean = true
+			}
+		}
+		if !clean {
+			unavoidable++ // every provider found is a polluter: any system loses
+		}
+
+		// Phase 2: vet the candidates with hiREP, download from the best.
+		hres := htb.System.RunTransaction(req, candidates)
+		if !hres.Outcome {
+			hPolluted++
+		}
+		if i < downloads/2 {
+			earlyN++
+			if !hres.Outcome {
+				hEarly++
+			}
+		} else {
+			lateN++
+			if !hres.Outcome {
+				hLate++
+			}
+		}
+		hMsgs += hres.TrustMessages
+
+		// Baseline: the same candidates through flooding-based voting.
+		vres := vtb.System.RunTransaction(req, candidates)
+		if !vres.Outcome {
+			vPolluted++
+		}
+		vMsgs += vres.TrustMessages
+	}
+
+	fmt.Printf("%d/%d queries found a provider within TTL 4; %d offered only polluters (floor %.1f%%)\n\n",
+		served, downloads, unavoidable, 100*float64(unavoidable)/float64(served))
+	fmt.Printf("%-24s %14s %18s\n", "", "hiREP", "pure voting")
+	fmt.Printf("%-24s %13.1f%% %17.1f%%\n", "polluted downloads",
+		100*float64(hPolluted)/float64(served), 100*float64(vPolluted)/float64(served))
+	fmt.Printf("%-24s %14d %18d\n", "trust messages", hMsgs, vMsgs)
+	fmt.Printf("%-24s %13.1fx %18s\n", "traffic advantage", float64(vMsgs)/float64(hMsgs), "1x")
+	fmt.Printf("\nhiREP learning curve: polluted %.1f%% in first half -> %.1f%% in second half\n",
+		100*float64(hEarly)/float64(earlyN), 100*float64(hLate)/float64(lateN))
+	fmt.Printf("query-flood traffic common to both systems: %d messages\n", queryMsgs)
+
+	// Show the learning effect: a trained downloader's agent list.
+	req := requestors[0]
+	honest := 0
+	agents := htb.System.TrustedAgentsOf(req)
+	for _, a := range agents {
+		if htb.System.IsHonestAgent(a) {
+			honest++
+		}
+	}
+	fmt.Printf("\nafter ~%d downloads, peer %d trusts %d agents (%d honest):\n",
+		downloads/len(requestors), req, len(agents), honest)
+	for _, a := range agents {
+		exp, _ := htb.System.ExpertiseOf(req, a)
+		fmt.Printf("  agent %-4d expertise %.3f honest=%v\n", a, exp, htb.System.IsHonestAgent(a))
+	}
+}

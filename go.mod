@@ -1,0 +1,3 @@
+module hirep
+
+go 1.22

@@ -1,0 +1,251 @@
+// Package agentdir implements the reputation-agent side of hiREP (§3.5).
+//
+// A trusted reputation agent keeps a public-key list
+// {nodeID_1, SP_1; ...; nodeID_n, SP_n} of the peers that chose it, accepts
+// signed transaction reports, and computes trust values for subjects from the
+// reports it has accumulated. The paper leaves the agent's computation model
+// open ("a reputation agent computes the trust value of each node using its
+// own trust value computation model"); this implementation uses the
+// Laplace-smoothed positive-report fraction, the standard Beta-prior
+// estimator used by EigenTrust-era systems.
+package agentdir
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hirep/internal/pkc"
+	"hirep/internal/trust"
+)
+
+// Errors returned by the agent.
+var (
+	ErrUnknownReporter = errors.New("agentdir: reporter's key not in public key list")
+	ErrBadSignature    = errors.New("agentdir: report signature invalid")
+	ErrBadBinding      = errors.New("agentdir: public key does not hash to node id")
+	ErrReplayedReport  = errors.New("agentdir: report nonce replayed")
+	ErrBadReport       = errors.New("agentdir: malformed report")
+)
+
+// Report is one transaction result: reporter observed subject behave
+// positively or negatively.
+type Report struct {
+	Reporter pkc.NodeID
+	Subject  pkc.NodeID
+	Positive bool
+	Nonce    pkc.Nonce
+}
+
+// reportBody is the byte string a reporter signs: subject || positive || nonce.
+func reportBody(subject pkc.NodeID, positive bool, nonce pkc.Nonce) []byte {
+	out := make([]byte, 0, pkc.NodeIDSize+1+pkc.NonceSize)
+	out = append(out, subject[:]...)
+	if positive {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return append(out, nonce[:]...)
+}
+
+// SignReport produces the signed wire form of a report, the
+// "(SR_p(result, nounce), nodeID_p)" of §3.5.3: body || signature.
+func SignReport(reporter *pkc.Identity, subject pkc.NodeID, positive bool, nonce pkc.Nonce) []byte {
+	body := reportBody(subject, positive, nonce)
+	sig := reporter.SignMessage(body)
+	out := make([]byte, 0, len(body)+len(sig))
+	out = append(out, body...)
+	return append(out, sig...)
+}
+
+// parseReportWire splits a signed report into body fields and signature.
+func parseReportWire(b []byte) (subject pkc.NodeID, positive bool, nonce pkc.Nonce, body, sig []byte, err error) {
+	bodyLen := pkc.NodeIDSize + 1 + pkc.NonceSize
+	if len(b) != bodyLen+ed25519.SignatureSize {
+		err = ErrBadReport
+		return
+	}
+	copy(subject[:], b)
+	switch b[pkc.NodeIDSize] {
+	case 0:
+		positive = false
+	case 1:
+		positive = true
+	default:
+		err = ErrBadReport
+		return
+	}
+	copy(nonce[:], b[pkc.NodeIDSize+1:])
+	return subject, positive, nonce, b[:bodyLen], b[bodyLen:], nil
+}
+
+// tally accumulates report outcomes for one subject.
+type tally struct {
+	positive int
+	negative int
+}
+
+// Agent is a trusted reputation agent. Safe for concurrent use (the live
+// node serves many peers at once).
+type Agent struct {
+	mu      sync.RWMutex
+	self    *pkc.Identity
+	keys    map[pkc.NodeID]ed25519.PublicKey
+	tallies map[pkc.NodeID]tally
+	reports int
+	replays *pkc.ReplayCache
+}
+
+// New creates an agent with identity self. replayCap bounds the nonce replay
+// cache (0 picks a default of 4096).
+func New(self *pkc.Identity, replayCap int) *Agent {
+	if replayCap <= 0 {
+		replayCap = 4096
+	}
+	return &Agent{
+		self:    self,
+		keys:    make(map[pkc.NodeID]ed25519.PublicKey),
+		tallies: make(map[pkc.NodeID]tally),
+		replays: pkc.NewReplayCache(replayCap),
+	}
+}
+
+// ID returns the agent's node ID.
+func (a *Agent) ID() pkc.NodeID { return a.self.ID }
+
+// RegisterKey adds a peer's signature public key to the public key list
+// (§3.5.2: done when a trust request arrives from an unknown nodeID). The
+// binding nodeID = SHA-1(SP) is verified; a mismatch is a spoofing attempt.
+func (a *Agent) RegisterKey(id pkc.NodeID, sp ed25519.PublicKey) error {
+	if !pkc.VerifyBinding(id, sp) {
+		return ErrBadBinding
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.keys[id] = sp
+	return nil
+}
+
+// KnowsKey reports whether id is in the public key list.
+func (a *Agent) KnowsKey(id pkc.NodeID) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.keys[id]
+	return ok
+}
+
+// KeyCount returns the size of the public key list.
+func (a *Agent) KeyCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.keys)
+}
+
+// SubmitReport verifies and stores a signed report from reporter (§3.5.3).
+// The reporter's key must already be registered ("E then locates SP_p in its
+// public key list using nodeID_p"); the signature must verify ("if the result
+// cannot be decrypted, the message will be dropped"); the nonce must be
+// fresh.
+func (a *Agent) SubmitReport(reporter pkc.NodeID, wire []byte) (Report, error) {
+	subject, positive, nonce, body, sig, err := parseReportWire(wire)
+	if err != nil {
+		return Report{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sp, ok := a.keys[reporter]
+	if !ok {
+		return Report{}, ErrUnknownReporter
+	}
+	if !pkc.Verify(sp, body, sig) {
+		return Report{}, ErrBadSignature
+	}
+	if !a.replays.Observe(nonce) {
+		return Report{}, ErrReplayedReport
+	}
+	t := a.tallies[subject]
+	if positive {
+		t.positive++
+	} else {
+		t.negative++
+	}
+	a.tallies[subject] = t
+	a.reports++
+	return Report{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}, nil
+}
+
+// ApplyKeyUpdate processes a §3.5 key rotation: after verifying the update
+// against the predecessor's registered key, the public-key list entry and
+// any report tallies about the old nodeID move to the new nodeID ("map and
+// replace an old nodeid to a new nodeid").
+func (a *Agent) ApplyKeyUpdate(wire []byte) (pkc.KeyUpdate, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	oldID, err := pkc.PeekKeyUpdateOldID(wire)
+	if err != nil {
+		return pkc.KeyUpdate{}, err
+	}
+	oldSP, ok := a.keys[oldID]
+	if !ok {
+		return pkc.KeyUpdate{}, ErrUnknownReporter
+	}
+	upd, err := pkc.VerifyKeyUpdate(oldSP, wire)
+	if err != nil {
+		return pkc.KeyUpdate{}, err
+	}
+	delete(a.keys, upd.OldID)
+	a.keys[upd.NewID] = upd.NewSP
+	if t, ok := a.tallies[upd.OldID]; ok {
+		// Merge into any existing tally for the new ID (normally empty).
+		nt := a.tallies[upd.NewID]
+		nt.positive += t.positive
+		nt.negative += t.negative
+		a.tallies[upd.NewID] = nt
+		delete(a.tallies, upd.OldID)
+	}
+	return upd, nil
+}
+
+// TrustValue computes the agent's estimate for subject from stored reports:
+// the Laplace-smoothed positive fraction (p+1)/(p+n+2). ok is false when the
+// agent has no report about the subject and therefore no opinion.
+func (a *Agent) TrustValue(subject pkc.NodeID) (trust.Value, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	t, ok := a.tallies[subject]
+	if !ok || t.positive+t.negative == 0 {
+		return 0, false
+	}
+	return trust.Value(float64(t.positive+1) / float64(t.positive+t.negative+2)), true
+}
+
+// ReportCount returns the total number of accepted reports.
+func (a *Agent) ReportCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.reports
+}
+
+// SubjectCount returns how many distinct subjects have reports.
+func (a *Agent) SubjectCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.tallies)
+}
+
+// String summarizes the agent for logs.
+func (a *Agent) String() string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return fmt.Sprintf("agent %s: %d keys, %d reports on %d subjects",
+		a.self.ID.Short(), len(a.keys), a.reports, len(a.tallies))
+}
+
+// DecodeNonceHint extracts the nonce from a signed report without verifying
+// it; transports use it for early deduplication.
+func DecodeNonceHint(wire []byte) (pkc.Nonce, error) {
+	_, _, nonce, _, _, err := parseReportWire(wire)
+	return nonce, err
+}

@@ -1,0 +1,94 @@
+package agentdir
+
+import (
+	"errors"
+	"testing"
+
+	"hirep/internal/pkc"
+)
+
+func TestApplyKeyUpdateRemapsState(t *testing.T) {
+	a := New(ident(t), 0)
+	peer, subject := ident(t), ident(t)
+	if err := a.RegisterKey(peer.ID, peer.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate reports under the old identity.
+	for i := 0; i < 3; i++ {
+		if _, err := a.SubmitReport(peer.ID, SignReport(peer, subject.ID, true, nonce(t))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Also accumulate reports ABOUT the peer (it is a subject elsewhere).
+	other := ident(t)
+	_ = a.RegisterKey(other.ID, other.Sign.Public)
+	if _, err := a.SubmitReport(other.ID, SignReport(other, peer.ID, false, nonce(t))); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := a.TrustValue(peer.ID)
+
+	next, wire, err := peer.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, err := a.ApplyKeyUpdate(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.NewID != next.ID {
+		t.Fatal("wrong successor")
+	}
+	// Old key gone, new key present.
+	if a.KnowsKey(peer.ID) {
+		t.Fatal("old nodeID still registered")
+	}
+	if !a.KnowsKey(next.ID) {
+		t.Fatal("new nodeID not registered")
+	}
+	// Tallies about the peer moved to the new ID.
+	if _, ok := a.TrustValue(peer.ID); ok {
+		t.Fatal("old nodeID still has a trust value")
+	}
+	after, ok := a.TrustValue(next.ID)
+	if !ok || after != before {
+		t.Fatalf("trust value not carried over: %v -> %v (ok=%v)", before, after, ok)
+	}
+	// The successor can file reports immediately.
+	if _, err := a.SubmitReport(next.ID, SignReport(next, subject.ID, true, nonce(t))); err != nil {
+		t.Fatalf("successor report rejected: %v", err)
+	}
+}
+
+func TestApplyKeyUpdateUnknownPredecessor(t *testing.T) {
+	a := New(ident(t), 0)
+	peer := ident(t)
+	_, wire, _ := peer.Rotate(nil)
+	if _, err := a.ApplyKeyUpdate(wire); !errors.Is(err, ErrUnknownReporter) {
+		t.Fatalf("update from unknown peer: %v", err)
+	}
+}
+
+func TestApplyKeyUpdateForgedRejected(t *testing.T) {
+	a := New(ident(t), 0)
+	victim, attacker := ident(t), ident(t)
+	_ = a.RegisterKey(victim.ID, victim.Sign.Public)
+	// The attacker rotates its own identity but cannot claim the victim's:
+	// a forged wire with the victim's ID spliced into the prefix fails the
+	// signature check against the victim's registered SP.
+	_, wire, _ := attacker.Rotate(nil)
+	forged := append([]byte(nil), wire...)
+	copy(forged[19:], victim.ID[:]) // splice the victim's ID after the magic
+	if _, err := a.ApplyKeyUpdate(forged); !errors.Is(err, pkc.ErrBadUpdate) {
+		t.Fatalf("forged succession accepted: %v", err)
+	}
+	if !a.KnowsKey(victim.ID) {
+		t.Fatal("victim's key was displaced")
+	}
+}
+
+func TestApplyKeyUpdateGarbage(t *testing.T) {
+	a := New(ident(t), 0)
+	if _, err := a.ApplyKeyUpdate([]byte("nope")); !errors.Is(err, pkc.ErrBadUpdate) {
+		t.Fatalf("garbage update: %v", err)
+	}
+}

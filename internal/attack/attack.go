@@ -1,0 +1,92 @@
+// Package attack models the adversaries of the paper's robustness analysis
+// (§4.2) so they can be thrown at a running hiREP system:
+//
+//   - trusted-agent manipulation (§4.2.1): peers answering agent-list
+//     requests with fabricated recommendations;
+//   - identity manipulation (§4.2.2): spoofing another peer's reports and
+//     sybil identity multiplication;
+//   - reputation-evaluation manipulation (§4.2.3): agents voting inversely;
+//   - DoS against high-performance agents (§4.2.4).
+//
+// Protocol-level scenarios are expressed as mutations of core.Config (plus a
+// mid-run DoS hook) and run by the sim harness; cryptographic attacks are
+// expressed directly against pkc/agentdir and must fail there.
+package attack
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"hirep/internal/agentdir"
+	"hirep/internal/core"
+	"hirep/internal/pkc"
+)
+
+// Scenario is one protocol-level attack configuration.
+type Scenario struct {
+	// Name identifies the scenario in tables.
+	Name string
+	// Mutate adjusts the hiREP configuration to enable the attack.
+	Mutate func(*core.Config)
+	// DoSFrac, when positive, kills this fraction of honest agents midway
+	// through the run (§4.2.4).
+	DoSFrac float64
+}
+
+// Catalog returns the §4.2 scenario suite, baseline first.
+func Catalog() []Scenario {
+	return []Scenario{
+		{Name: "baseline", Mutate: func(*core.Config) {}},
+		{Name: "list-poison-30%", Mutate: func(c *core.Config) { c.PoisonFrac = 0.3 }},
+		{Name: "sybil-50%-agents", Mutate: func(c *core.Config) { c.MaliciousFrac = 0.5 }},
+		{Name: "dos-kill-50%-honest", Mutate: func(*core.Config) {}, DoSFrac: 0.5},
+	}
+}
+
+// SpoofReport forges a transaction report: the attacker signs with its own
+// key but claims the victim's nodeID. A correct agent must reject it, because
+// the victim's registered SP cannot verify the attacker's signature — the
+// §4.2.2 argument that "it is impossible for attackers to get the private key
+// of the other peers".
+func SpoofReport(attacker *pkc.Identity, victim pkc.NodeID, subject pkc.NodeID, positive bool) ([]byte, pkc.NodeID, error) {
+	nonce, err := pkc.NewNonce(nil)
+	if err != nil {
+		return nil, pkc.NodeID{}, err
+	}
+	wire := agentdir.SignReport(attacker, subject, positive, nonce)
+	return wire, victim, nil
+}
+
+// KeySubstitution attempts the man-in-the-middle key replacement of §3.3:
+// presenting the attacker's signature key under the victim's nodeID. It
+// returns the agent's verdict; a nil error would mean the self-certifying
+// binding failed.
+func KeySubstitution(agent *agentdir.Agent, victim pkc.NodeID, attackerKey ed25519.PublicKey) error {
+	return agent.RegisterKey(victim, attackerKey)
+}
+
+// SybilFactory mints n independent identities for one attacker (§4.2.2: "the
+// attackers use multiple identities"). hiREP cannot prevent the minting —
+// nodeIDs are self-generated — but each identity starts with no reputation
+// and must earn expertise independently.
+func SybilFactory(n int) ([]*pkc.Identity, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("attack: sybil count must be >= 1, got %d", n)
+	}
+	ids := make([]*pkc.Identity, n)
+	for i := range ids {
+		id, err := pkc.NewIdentity(nil)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// ReplayReport re-submits a previously accepted report verbatim. Agents must
+// reject it via the nonce replay cache.
+func ReplayReport(agent *agentdir.Agent, reporter pkc.NodeID, wire []byte) error {
+	_, err := agent.SubmitReport(reporter, wire)
+	return err
+}

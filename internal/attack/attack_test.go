@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"hirep/internal/agentdir"
+	"hirep/internal/core"
+	"hirep/internal/pkc"
+)
+
+func ident(t *testing.T) *pkc.Identity {
+	t.Helper()
+	id, err := pkc.NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog has %d scenarios", len(cat))
+	}
+	if cat[0].Name != "baseline" {
+		t.Fatal("baseline must come first")
+	}
+	seen := map[string]bool{}
+	for _, sc := range cat {
+		if sc.Mutate == nil {
+			t.Fatalf("%s has nil Mutate", sc.Name)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario %s", sc.Name)
+		}
+		seen[sc.Name] = true
+		// Mutations must keep the config valid.
+		cfg := core.DefaultConfig()
+		sc.Mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s produces invalid config: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestSpoofReportRejected(t *testing.T) {
+	// §4.2.2: identity spoofing must fail — the attacker cannot produce a
+	// signature that verifies under the victim's registered key.
+	agentID := ident(t)
+	agent := agentdir.New(agentID, 0)
+	victim, attacker, subject := ident(t), ident(t), ident(t)
+	if err := agent.RegisterKey(victim.ID, victim.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	wire, claimed, err := SpoofReport(attacker, victim.ID, subject.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.SubmitReport(claimed, wire); !errors.Is(err, agentdir.ErrBadSignature) {
+		t.Fatalf("spoofed report outcome: %v (must be signature failure)", err)
+	}
+	if agent.ReportCount() != 0 {
+		t.Fatal("spoofed report stored")
+	}
+}
+
+func TestKeySubstitutionRejected(t *testing.T) {
+	// §3.3: nodeID = SHA-1(SP) defeats MITM key substitution.
+	agent := agentdir.New(ident(t), 0)
+	victim, attacker := ident(t), ident(t)
+	if err := KeySubstitution(agent, victim.ID, attacker.Sign.Public); !errors.Is(err, agentdir.ErrBadBinding) {
+		t.Fatalf("key substitution outcome: %v (must be binding failure)", err)
+	}
+	if agent.KnowsKey(victim.ID) {
+		t.Fatal("substituted key registered")
+	}
+}
+
+func TestSybilFactoryMintsDistinctIdentities(t *testing.T) {
+	ids, err := SybilFactory(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[pkc.NodeID]bool{}
+	for _, id := range ids {
+		if seen[id.ID] {
+			t.Fatal("sybil identities collide")
+		}
+		seen[id.ID] = true
+	}
+	// Sybil identities are valid peers — hiREP cannot prevent minting; it
+	// bounds the damage via expertise filtering (tested in sim/core).
+	agent := agentdir.New(ids[0], 0)
+	if err := agent.RegisterKey(ids[1].ID, ids[1].Sign.Public); err != nil {
+		t.Fatalf("sybil identity rejected at registration: %v", err)
+	}
+}
+
+func TestSybilFactoryValidation(t *testing.T) {
+	if _, err := SybilFactory(0); err == nil {
+		t.Fatal("zero sybils accepted")
+	}
+}
+
+func TestReplayReportRejected(t *testing.T) {
+	agent := agentdir.New(ident(t), 0)
+	reporter, subject := ident(t), ident(t)
+	if err := agent.RegisterKey(reporter.ID, reporter.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	nonce, _ := pkc.NewNonce(nil)
+	wire := agentdir.SignReport(reporter, subject.ID, true, nonce)
+	if _, err := agent.SubmitReport(reporter.ID, wire); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayReport(agent, reporter.ID, wire); !errors.Is(err, agentdir.ErrReplayedReport) {
+		t.Fatalf("replay outcome: %v", err)
+	}
+	if agent.ReportCount() != 1 {
+		t.Fatal("replay double-counted")
+	}
+}

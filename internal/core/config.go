@@ -1,0 +1,171 @@
+// Package core implements the hiREP peer protocol (§3 of the paper) on top
+// of the discrete-event simulator: trusted-agent list formation with
+// token/TTL-limited requests (§3.4.1), agent ranking and selection (§3.4.2),
+// list maintenance with expertise thresholds and a backup-agent cache
+// (§3.4.3), and the onion-routed trust value request / response / transaction
+// report exchanges (§3.5, §3.6).
+//
+// The simulator models onions as relay routes and counts every hop as one
+// message, which is the unit of the paper's traffic metric; cryptographic
+// onions with real key material live in internal/onion and are exercised by
+// the live-node prototype (internal/node).
+package core
+
+import (
+	"fmt"
+
+	"hirep/internal/trust"
+)
+
+// Config holds the hiREP system parameters (Table 1 of the paper, with the
+// reconstruction documented in DESIGN.md).
+type Config struct {
+	// TrustedAgents is c, the number of trusted agents each peer keeps.
+	TrustedAgents int
+	// Tokens is the initial token count of an agent-list request (Table 1).
+	Tokens int
+	// TTL bounds agent-list request forwarding (Table 1; Gnutella default 7).
+	TTL int
+	// OnionRelays is the number of relays in each onion (Table 1).
+	OnionRelays int
+	// Alpha is the EWMA smoothing factor of the expertise update (§3.4.3).
+	Alpha float64
+	// RemoveThreshold drops a trusted agent whose expertise falls below it;
+	// the paper's hirep-4/6/8 systems use 0.4/0.6/0.8 (Figure 6).
+	RemoveThreshold float64
+	// RefillBelow triggers backup probing and a new agent-list request when
+	// the trusted-agent list shrinks below it (§3.4.3's "threshold, say 50").
+	RefillBelow int
+	// CandidatesPerTx is how many provider candidates a requestor evaluates
+	// per transaction (§3.6's "group of file provider candidates").
+	CandidatesPerTx int
+	// AgentFrac is the fraction of nodes with bandwidth above 64k that can
+	// serve as reputation agents (§3.2).
+	AgentFrac float64
+	// MaliciousFrac is the fraction of reputation agents with poor/inverted
+	// evaluation behaviour (Table 1's "poor performance agents").
+	MaliciousFrac float64
+	// OfflineProb is the per-transaction probability that an agent is
+	// offline, driving the backup-cache path of §3.4.3 (0 in the paper's
+	// figures; used by the churn ablation).
+	OfflineProb float64
+	// PoisonFrac is the fraction of peers that answer agent-list requests
+	// with fabricated recommendations promoting malicious agents at maximum
+	// weight — the trusted-agent manipulation attack of §4.2.1.
+	PoisonFrac float64
+	// Rating is the evaluator behaviour model (Table 1's rating ranges).
+	Rating trust.RatingModel
+	// Model selects how honest agents compute trust values from accumulated
+	// transaction reports (§4.2.3's "next level computation model").
+	Model AgentModel
+	// LyingReporters makes untrustworthy peers invert their transaction
+	// reports — the reputation-evaluation manipulation of §4.2.3. The
+	// credibility-weighted agent model is the designed defence.
+	LyingReporters bool
+}
+
+// AgentModel selects the honest agents' trust computation.
+type AgentModel int
+
+const (
+	// ModelTally (the default): answer with the report tally estimate when
+	// enough reports exist, else fall back to the rating model.
+	ModelTally AgentModel = iota
+	// ModelRating: ignore reports entirely; agents answer from their local
+	// rating behaviour only (the paper's minimal agent).
+	ModelRating
+	// ModelCredibility: weight each reporter's per-subject tally by the
+	// agent's trust in the reporter itself — PeerTrust-style feedback
+	// credibility, robust to lying reporters (§4.2.3).
+	ModelCredibility
+)
+
+func (m AgentModel) String() string {
+	switch m {
+	case ModelTally:
+		return "tally"
+	case ModelRating:
+		return "rating"
+	case ModelCredibility:
+		return "credibility"
+	default:
+		return fmt.Sprintf("AgentModel(%d)", int(m))
+	}
+}
+
+// DefaultConfig returns Table 1's defaults.
+func DefaultConfig() Config {
+	return Config{
+		TrustedAgents:   10,
+		Tokens:          10,
+		TTL:             7,
+		OnionRelays:     5,
+		Alpha:           0.3,
+		RemoveThreshold: 0.4,
+		RefillBelow:     5,
+		CandidatesPerTx: 3,
+		AgentFrac:       0.3,
+		MaliciousFrac:   0.1,
+		OfflineProb:     0,
+		Rating:          trust.DefaultRatingModel(),
+		Model:           ModelTally,
+	}
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.TrustedAgents < 1:
+		return fmt.Errorf("core: TrustedAgents must be >= 1, got %d", c.TrustedAgents)
+	case c.Tokens < 1:
+		return fmt.Errorf("core: Tokens must be >= 1, got %d", c.Tokens)
+	case c.TTL < 1:
+		return fmt.Errorf("core: TTL must be >= 1, got %d", c.TTL)
+	case c.OnionRelays < 1:
+		return fmt.Errorf("core: OnionRelays must be >= 1, got %d", c.OnionRelays)
+	case c.Alpha <= 0 || c.Alpha >= 1:
+		return fmt.Errorf("core: Alpha must be in (0,1), got %v", c.Alpha)
+	case c.RemoveThreshold < 0 || c.RemoveThreshold >= 1:
+		return fmt.Errorf("core: RemoveThreshold must be in [0,1), got %v", c.RemoveThreshold)
+	case c.RefillBelow < 0 || c.RefillBelow > c.TrustedAgents:
+		return fmt.Errorf("core: RefillBelow %d out of [0,%d]", c.RefillBelow, c.TrustedAgents)
+	case c.CandidatesPerTx < 1:
+		return fmt.Errorf("core: CandidatesPerTx must be >= 1, got %d", c.CandidatesPerTx)
+	case c.AgentFrac <= 0 || c.AgentFrac > 1:
+		return fmt.Errorf("core: AgentFrac must be in (0,1], got %v", c.AgentFrac)
+	case c.MaliciousFrac < 0 || c.MaliciousFrac > 1:
+		return fmt.Errorf("core: MaliciousFrac must be in [0,1], got %v", c.MaliciousFrac)
+	case c.OfflineProb < 0 || c.OfflineProb >= 1:
+		return fmt.Errorf("core: OfflineProb must be in [0,1), got %v", c.OfflineProb)
+	case c.PoisonFrac < 0 || c.PoisonFrac > 1:
+		return fmt.Errorf("core: PoisonFrac must be in [0,1], got %v", c.PoisonFrac)
+	case c.Model != ModelTally && c.Model != ModelRating && c.Model != ModelCredibility:
+		return fmt.Errorf("core: unknown agent model %v", c.Model)
+	}
+	return c.Rating.Validate()
+}
+
+// Message kinds used by the hiREP protocol; the simulator counts messages by
+// kind for the traffic experiments.
+const (
+	KindAgentListReq  = "hirep/agent-list-req"
+	KindAgentListResp = "hirep/agent-list-resp"
+	KindTrustReq      = "hirep/trust-req"
+	KindTrustResp     = "hirep/trust-resp"
+	KindReport        = "hirep/report"
+	KindProbe         = "hirep/probe"
+	KindProbeAck      = "hirep/probe-ack"
+)
+
+// TrafficKinds lists the kinds that make up hiREP's trust-distribution
+// traffic, the quantity Figure 5 plots.
+func TrafficKinds() []string {
+	return []string{KindTrustReq, KindTrustResp, KindReport}
+}
+
+// MaintenanceKinds lists the kinds of list-formation and maintenance traffic,
+// reported separately because the paper amortizes it ("the reputation list
+// initialization is executed only once for each peer", §4.1).
+func MaintenanceKinds() []string {
+	return []string{KindAgentListReq, KindAgentListResp, KindProbe, KindProbeAck}
+}

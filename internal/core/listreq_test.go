@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"hirep/internal/topology"
+)
+
+// walkCost runs one agent-list walk and returns the messages spent.
+func walkCost(t *testing.T, tokens, ttl int, seed int64) (reqs, resps int64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Tokens = tokens
+	cfg.TTL = ttl
+	sys := buildSystem(t, 200, cfg, seed)
+	before := sys.net.Count(KindAgentListReq)
+	beforeResp := sys.net.Count(KindAgentListResp)
+	sys.requestAgentLists(5)
+	return sys.net.Count(KindAgentListReq) - before, sys.net.Count(KindAgentListResp) - beforeResp
+}
+
+func TestWalkResponsesBoundedByTokens(t *testing.T) {
+	// §3.4.1: "A token was used up only when a node returns its trusted
+	// agent list" — the token budget is a hard cap on answers.
+	for _, tokens := range []int{1, 4, 10, 25} {
+		_, resps := walkCost(t, tokens, 7, 9)
+		if resps > int64(tokens) {
+			t.Fatalf("tokens=%d produced %d responses", tokens, resps)
+		}
+	}
+}
+
+func TestWalkRequestsBoundedByTokensTimesTTL(t *testing.T) {
+	// Each request message carries >= 1 token and tokens only move forward
+	// (never duplicate), so per TTL ring at most `tokens` requests exist.
+	for _, tokens := range []int{5, 10} {
+		for _, ttl := range []int{2, 4, 7} {
+			reqs, _ := walkCost(t, tokens, ttl, 13)
+			bound := int64(tokens * ttl)
+			if reqs > bound {
+				t.Fatalf("tokens=%d ttl=%d: %d request messages exceed bound %d", tokens, ttl, reqs, bound)
+			}
+		}
+	}
+}
+
+func TestWalkTTLOneNeverForwards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTL = 1
+	sys := buildSystem(t, 150, cfg, 17)
+	before := sys.net.Count(KindAgentListReq)
+	sys.requestAgentLists(3)
+	sent := sys.net.Count(KindAgentListReq) - before
+	// With TTL 1, only the requestor's initial sends exist: at most
+	// min(neighbors, tokens).
+	deg := int64(len(sys.net.Graph().Neighbors(3)))
+	maxInitial := int64(cfg.Tokens)
+	if deg < maxInitial {
+		maxInitial = deg
+	}
+	if sent > maxInitial {
+		t.Fatalf("TTL-1 walk sent %d requests, max initial %d", sent, maxInitial)
+	}
+}
+
+func TestWalkGrowsWithTokens(t *testing.T) {
+	// More tokens buy more recommendation lists (until saturation).
+	_, few := walkCost(t, 2, 7, 21)
+	_, many := walkCost(t, 20, 7, 21)
+	if many < few {
+		t.Fatalf("more tokens produced fewer responses: %d vs %d", many, few)
+	}
+}
+
+func TestPoisonerDoesNotSelfNominate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoisonFrac = 1.0 // everyone poisons
+	cfg.MaliciousFrac = 0.5
+	sys := buildSystem(t, 150, cfg, 23)
+	lists := sys.requestAgentLists(0)
+	// All lists must consist solely of malicious agents at weight 1, or
+	// self-nominations (when a poisoner found no malicious cohort yet).
+	for _, list := range lists {
+		for _, rec := range list {
+			if sys.agents[rec.Agent] != nil && sys.agents[rec.Agent].honest && rec.Weight == 1 {
+				// An honest self-nomination slipping through poisoned lists
+				// is only possible via the self-nomination fallback.
+				if len(list) != 1 || list[0].Agent != rec.Agent {
+					t.Fatalf("poisoned list recommends honest agent %d", rec.Agent)
+				}
+			}
+		}
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	a := buildSystem(t, 150, DefaultConfig(), 29)
+	b := buildSystem(t, 150, DefaultConfig(), 29)
+	if a.Bootstrap() != b.Bootstrap() {
+		t.Fatal("bootstrap cost differs across identical runs")
+	}
+	for i := 0; i < 150; i++ {
+		la, lb := a.TrustedAgentsOf(topology.NodeID(i)), b.TrustedAgentsOf(topology.NodeID(i))
+		if len(la) != len(lb) {
+			t.Fatalf("peer %d list size differs", i)
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatalf("peer %d lists differ", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+	"hirep/internal/xrand"
+)
+
+func TestAgentModelString(t *testing.T) {
+	if ModelTally.String() != "tally" || ModelRating.String() != "rating" || ModelCredibility.String() != "credibility" {
+		t.Fatal("model names wrong")
+	}
+	if AgentModel(9).String() == "" {
+		t.Fatal("unknown model renders empty")
+	}
+}
+
+func TestConfigRejectsUnknownModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = AgentModel(42)
+	if cfg.Validate() == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestModelRatingIgnoresReports(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = ModelRating
+	sys := buildSystem(t, 150, cfg, 21)
+	sys.Bootstrap()
+	req := topology.NodeID(1)
+	for i := 0; i < 30; i++ {
+		sys.RunTransaction(req, sys.PickCandidates(req))
+	}
+	// With ModelRating, an honest agent's evaluation is freshly drawn from
+	// the rating ranges even for subjects it has many reports about.
+	for id, a := range sys.agents {
+		if a == nil || !a.honest {
+			continue
+		}
+		for subject, tl := range a.tallies {
+			if tl.pos+tl.neg < minReports {
+				continue
+			}
+			v := sys.evaluate(a, subject)
+			truth := sys.oracle.Trustworthy(int(subject))
+			m := cfg.Rating
+			if truth && (float64(v) < m.GoodLo || float64(v) >= m.GoodHi) {
+				t.Fatalf("agent %d: rating-model value %v outside good range", id, v)
+			}
+			if !truth && (float64(v) < m.BadLo || float64(v) >= m.BadHi) {
+				t.Fatalf("agent %d: rating-model value %v outside bad range", id, v)
+			}
+			return // one verified case suffices
+		}
+	}
+	t.Skip("no agent accumulated enough reports")
+}
+
+// lyingReporterMSE measures trained MSE with lying reporters under a model.
+func lyingReporterMSE(t *testing.T, model AgentModel) float64 {
+	cfg := DefaultConfig()
+	cfg.Model = model
+	cfg.LyingReporters = true
+	cfg.MaliciousFrac = 0.1
+	sys := buildSystem(t, 250, cfg, 23)
+	sys.Bootstrap()
+	// Mixed requestor panel: trustworthy peers report honestly,
+	// untrustworthy ones lie. Pick a panel with both kinds.
+	panel := []topology.NodeID{}
+	var liars int
+	for i := 0; len(panel) < 8; i++ {
+		id := topology.NodeID(i)
+		if !sys.oracle.Trustworthy(i) {
+			if liars >= 4 {
+				continue
+			}
+			liars++
+		}
+		panel = append(panel, id)
+	}
+	// Concentrate transactions on a small provider pool so agents accumulate
+	// enough reports for the report-based models to engage. The panel members
+	// are providers too: honest reports about the liars' own (bad) service
+	// are what lets the credibility model discount their testimony.
+	pool := append([]topology.NodeID{30, 31, 32, 33, 34, 35, 36, 37}, panel...)
+	rng := xrand.New(31)
+	var acc trust.MSEAccumulator
+	for i := 0; i < 240; i++ {
+		req := panel[i%len(panel)]
+		var cands []topology.NodeID
+		for _, idx := range rng.Choose(len(pool), 3) {
+			if pool[idx] != req {
+				cands = append(cands, pool[idx])
+			}
+		}
+		res := sys.RunTransaction(req, cands)
+		if i >= 180 {
+			for j, c := range res.Candidates {
+				est := res.Estimates[j]
+				if !est.Valid() {
+					est = 0.5
+				}
+				acc.Observe(est, sys.oracle.TrueValue(int(c)))
+			}
+		}
+	}
+	return acc.MSE()
+}
+
+func TestCredibilityModelResistsLyingReporters(t *testing.T) {
+	tally := lyingReporterMSE(t, ModelTally)
+	cred := lyingReporterMSE(t, ModelCredibility)
+	// The credibility weighting must not be worse than naive tallying under
+	// report manipulation (§4.2.3); typically it is clearly better.
+	if cred > tally*1.1 {
+		t.Fatalf("credibility model (%.4f) worse than tally (%.4f) under lying reporters", cred, tally)
+	}
+	t.Logf("lying reporters: tally MSE %.4f, credibility MSE %.4f", tally, cred)
+}
+
+func TestLyingReportersPoisonTallies(t *testing.T) {
+	// Sanity: with LyingReporters on and a liar-only panel, tallies about a
+	// good provider collect negatives.
+	cfg := DefaultConfig()
+	cfg.LyingReporters = true
+	sys := buildSystem(t, 150, cfg, 29)
+	sys.Bootstrap()
+	var liar topology.NodeID = -1
+	for i := 0; i < 150; i++ {
+		if !sys.oracle.Trustworthy(i) {
+			liar = topology.NodeID(i)
+			break
+		}
+	}
+	if liar < 0 {
+		t.Skip("no liar found")
+	}
+	res := sys.RunTransaction(liar, sys.PickCandidates(liar))
+	// The report filed must be the inverse of the outcome.
+	inverted := 0
+	for _, a := range sys.agents {
+		if a == nil {
+			continue
+		}
+		if by, ok := a.perReporter[liar]; ok {
+			tl := by[res.Chosen]
+			if (res.Outcome && tl.neg > 0) || (!res.Outcome && tl.pos > 0) {
+				inverted++
+			}
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("liar's reports were not inverted")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+// genLists converts fuzzer input into recommendation lists.
+func genLists(raw [][]uint16) [][]Recommendation {
+	lists := make([][]Recommendation, 0, len(raw))
+	for _, rl := range raw {
+		var list []Recommendation
+		for i, v := range rl {
+			if i >= 12 {
+				break
+			}
+			list = append(list, Recommendation{
+				Agent:  topology.NodeID(v % 64),
+				Weight: float64(v%100) / 100,
+			})
+		}
+		if len(list) > 0 {
+			lists = append(lists, list)
+		}
+	}
+	return lists
+}
+
+func TestRankAgentsPropertyBounds(t *testing.T) {
+	f := func(raw [][]uint16, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		ranks := RankAgents(genLists(raw), n)
+		for _, r := range ranks {
+			if r < 0 || r > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankAgentsPropertyMaxDominates(t *testing.T) {
+	// Adding more lists can never LOWER an agent's final rank (max rule).
+	f := func(raw [][]uint16, extraRaw []uint16, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		lists := genLists(raw)
+		before := RankAgents(lists, n)
+		extra := genLists([][]uint16{extraRaw})
+		after := RankAgents(append(lists, extra...), n)
+		for agent, r := range before {
+			if after[agent] < r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankAgentsPropertyTopOfListGetsN(t *testing.T) {
+	// The strictly heaviest agent of any list gets the full rank n.
+	f := func(raw []uint16, nRaw uint8) bool {
+		lists := genLists([][]uint16{raw})
+		if len(lists) == 0 {
+			return true
+		}
+		n := int(nRaw%10) + 1
+		list := lists[0]
+		best, bestW, ties := list[0].Agent, list[0].Weight, 1
+		for _, rec := range list[1:] {
+			switch {
+			case rec.Weight > bestW:
+				best, bestW, ties = rec.Agent, rec.Weight, 1
+			case rec.Weight == bestW:
+				ties++
+			}
+		}
+		if ties > 1 {
+			return true // ambiguous head; stable sort decides
+		}
+		return RankAgents(lists, n)[best] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectAgentsPropertySubsetAndDistinct(t *testing.T) {
+	f := func(raw [][]uint16, nRaw, seedRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		ranks := RankAgents(genLists(raw), n)
+		sel := SelectAgents(ranks, n, -1, xrand.New(int64(seedRaw)))
+		if len(sel) > n {
+			return false
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, id := range sel {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			if _, ok := ranks[id]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectAgentsPropertyRankOrderRespected(t *testing.T) {
+	// Every selected agent must have rank >= every unselected agent's rank.
+	f := func(raw [][]uint16, seedRaw uint8) bool {
+		const n = 4
+		ranks := RankAgents(genLists(raw), n)
+		sel := SelectAgents(ranks, n, -1, xrand.New(int64(seedRaw)))
+		selSet := map[topology.NodeID]bool{}
+		minSel := n + 1
+		for _, id := range sel {
+			selSet[id] = true
+			if ranks[id] < minSel {
+				minSel = ranks[id]
+			}
+		}
+		if len(sel) < n {
+			return true // everything was selected
+		}
+		for id, r := range ranks {
+			if !selSet[id] && r > minSel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+)
+
+// This file implements the transaction loop of §3.5/§3.6: onion-routed trust
+// value requests to the requestor's trusted agents, expertise-weighted
+// aggregation, provider selection, expertise updates, list maintenance, and
+// onion-routed transaction reports.
+
+// TxResult summarizes one transaction for the experiment harness.
+type TxResult struct {
+	Requestor  topology.NodeID
+	Candidates []topology.NodeID
+	// Estimates holds the requestor's final estimated trust per candidate;
+	// NaN when no agent offered an opinion.
+	Estimates []trust.Value
+	Chosen    topology.NodeID
+	Outcome   bool
+	// SqErr/SqN accumulate squared error between estimates and ground truth
+	// over the candidates (the paper's MSE ingredient, §5.1). Candidates
+	// without an estimate contribute the uninformed prior 0.5.
+	SqErr float64
+	SqN   int
+	// ResponseTime is the span from sending the first trust request to
+	// receiving the last trust response (§5.3's response-time definition).
+	ResponseTime simnet.Time
+	// TrustMessages counts trust-req/resp/report messages of this
+	// transaction; MaintMessages counts refill traffic it triggered.
+	TrustMessages int64
+	MaintMessages int64
+	// Responded is how many trusted agents answered.
+	Responded int
+}
+
+// MSE returns the transaction's mean squared estimation error.
+func (r TxResult) MSE() float64 {
+	if r.SqN == 0 {
+		return 0
+	}
+	return r.SqErr / float64(r.SqN)
+}
+
+// onTrustReq handles a trust-value request arriving at an agent (§3.5.2).
+func (s *System) onTrustReq(nw *simnet.Network, m simnet.Message) {
+	a := s.agents[m.To]
+	if a == nil || a.down() {
+		return // not an agent (stale list entry) or offline this transaction
+	}
+	p := m.Payload.(trustReqPayload)
+	ests := make([]trust.Value, len(p.candidates))
+	for i, c := range p.candidates {
+		ests[i] = s.evaluate(a, c)
+	}
+	// Respond through the requestor's onion using a fresh envelope, the
+	// "{SP_p(T), SP_e, Onion_e}" reply of §3.5.2.
+	s.onionSend(m.To, KindTrustResp, p.replyRoute, trustRespPayload{
+		txID: p.txID, agent: m.To, estimates: ests,
+	})
+}
+
+// evaluate produces an agent's trust estimate for subject. Honest agents use
+// accumulated transaction reports when available (the richer "next level
+// computation model" of §4.2.3), otherwise their rating model; poor agents
+// always evaluate inversely.
+func (s *System) evaluate(a *agentState, subject topology.NodeID) trust.Value {
+	if a.honest && s.cfg.Model != ModelRating {
+		if v, ok := s.reportEstimate(a, subject); ok {
+			return v
+		}
+	}
+	return s.cfg.Rating.Evaluate(a.honest, s.oracle.Trustworthy(int(subject)), a.rng)
+}
+
+// reportEstimate computes an honest agent's report-based trust estimate for
+// subject, per the configured model. ok is false when the agent lacks enough
+// evidence and must fall back to its rating behaviour.
+func (s *System) reportEstimate(a *agentState, subject topology.NodeID) (trust.Value, bool) {
+	t, has := a.tallies[subject]
+	if !has || t.pos+t.neg < minReports {
+		return 0, false
+	}
+	if s.cfg.Model == ModelTally {
+		return t.estimate(), true
+	}
+	// ModelCredibility: weight each reporter's per-subject rate by the
+	// reporter's feedback credibility — how often its verdicts agree with
+	// the rest of the agent's evidence (PeerTrust-style, §4.2.3). A liar
+	// systematically contradicts the honest majority across subjects, so its
+	// credibility collapses and its reports stop moving the estimate.
+	var sumW, sumWV float64
+	for reporter, subjects := range a.perReporter {
+		rt, ok := subjects[subject]
+		if !ok || rt.pos+rt.neg == 0 {
+			continue
+		}
+		cred := a.credibility(reporter)
+		sumW += cred
+		sumWV += cred * float64(rt.estimate())
+	}
+	if sumW <= 0 {
+		return t.estimate(), true
+	}
+	return trust.Value(sumWV / sumW), true
+}
+
+// credibility is the Jeffreys-smoothed fraction of the reporter's subjects
+// on which its verdict majority agrees with the majority of everyone else's
+// reports (the reporter's own contribution excluded to avoid
+// self-agreement).
+func (a *agentState) credibility(reporter topology.NodeID) float64 {
+	agree, total := 0, 0
+	for subject, rt := range a.perReporter[reporter] {
+		if rt.pos == rt.neg {
+			continue // no verdict from this reporter
+		}
+		at := a.tallies[subject]
+		rest := tally{pos: at.pos - rt.pos, neg: at.neg - rt.neg}
+		if rest.pos == rest.neg {
+			continue // no independent verdict to compare with
+		}
+		total++
+		if (rt.pos > rt.neg) == (rest.pos > rest.neg) {
+			agree++
+		}
+	}
+	return (float64(agree) + 0.5) / (float64(total) + 1)
+}
+
+// onTrustResp collects an agent's response at the requestor.
+func (s *System) onTrustResp(nw *simnet.Network, m simnet.Message) {
+	p := m.Payload.(trustRespPayload)
+	if s.curTx == nil || s.curTx.id != p.txID || m.To != s.curTx.requestor {
+		return
+	}
+	if _, dup := s.curTx.responses[p.agent]; dup {
+		return
+	}
+	s.curTx.responses[p.agent] = p.estimates
+	s.curTx.lastResp = nw.Now()
+}
+
+// onReport stores a transaction report at an agent (§3.5.3).
+func (s *System) onReport(m simnet.Message) {
+	a := s.agents[m.To]
+	if a == nil || a.down() {
+		return
+	}
+	p := m.Payload.(reportPayload)
+	t := a.tallies[p.subject]
+	if p.positive {
+		t.pos++
+	} else {
+		t.neg++
+	}
+	a.tallies[p.subject] = t
+	bySubject := a.perReporter[p.reporter]
+	if bySubject == nil {
+		bySubject = make(map[topology.NodeID]tally)
+		a.perReporter[p.reporter] = bySubject
+	}
+	rt := bySubject[p.subject]
+	if p.positive {
+		rt.pos++
+	} else {
+		rt.neg++
+	}
+	bySubject[p.subject] = rt
+}
+
+// onProbe answers a backup-agent liveness probe.
+func (s *System) onProbe(nw *simnet.Network, m simnet.Message) {
+	a := s.agents[m.To]
+	if a == nil || a.down() {
+		return
+	}
+	p := m.Payload.(probePayload)
+	nw.SendBytes(m.To, p.origin, KindProbeAck, probeAckPayload{agent: m.To}, probeSize())
+}
+
+// onProbeAck records a live backup agent.
+func (s *System) onProbeAck(m simnet.Message) {
+	if s.curProbe == nil {
+		return
+	}
+	p := m.Payload.(probeAckPayload)
+	s.curProbe.acks[p.agent] = true
+}
+
+// RunTransaction executes one complete transaction for requestor over the
+// given provider candidates and returns its result. The simulator is driven
+// to quiescence, so results are final when this returns.
+func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology.NodeID) TxResult {
+	p := s.peers[requestor]
+	trustBefore := trafficMessages(s.net)
+	maintBefore := maintMessages(s.net)
+
+	// Refresh per-transaction agent churn.
+	if s.cfg.OfflineProb > 0 {
+		for _, a := range s.agents {
+			if a != nil {
+				a.offline = s.crng.Bool(s.cfg.OfflineProb)
+			}
+		}
+	}
+
+	s.nextID++
+	tx := &txCollect{
+		id:         s.nextID,
+		requestor:  requestor,
+		candidates: candidates,
+		expect:     len(p.list.entries),
+		responses:  make(map[topology.NodeID][]trust.Value),
+		start:      s.net.Now(),
+	}
+	s.curTx = tx
+
+	// §3.5.1: send the trust value request to every trusted agent through
+	// the agent's onion; carry the requestor's own onion for the reply path.
+	replyRoute := append(append([]topology.NodeID(nil), p.route...), requestor)
+	for _, e := range p.list.entries {
+		path := append(append([]topology.NodeID(nil), e.route...), e.agent)
+		s.onionSend(requestor, KindTrustReq, path, trustReqPayload{
+			txID: tx.id, requestor: requestor, candidates: candidates, replyRoute: replyRoute,
+		})
+	}
+	s.net.Run(0)
+
+	// Aggregate: expertise-weighted mean per candidate (§3.6: "computes the
+	// final estimated trust value of the potential file providers").
+	res := TxResult{
+		Requestor:  requestor,
+		Candidates: candidates,
+		Estimates:  make([]trust.Value, len(candidates)),
+		Responded:  len(tx.responses),
+	}
+	aggs := make([]trust.Aggregate, len(candidates))
+	for agent, ests := range tx.responses {
+		e := p.list.find(agent)
+		if e == nil {
+			continue
+		}
+		w := e.expertise.Value()
+		for i := range candidates {
+			aggs[i].Add(ests[i], w)
+		}
+	}
+	bestIdx, bestVal := -1, -1.0
+	for i := range candidates {
+		v, ok := aggs[i].Value()
+		if !ok {
+			res.Estimates[i] = trust.Value(math.NaN())
+			// Uninformed prior for the error metric.
+			d := 0.5 - float64(s.oracle.TrueValue(int(candidates[i])))
+			res.SqErr += d * d
+			res.SqN++
+			continue
+		}
+		res.Estimates[i] = v
+		d := float64(v) - float64(s.oracle.TrueValue(int(candidates[i])))
+		res.SqErr += d * d
+		res.SqN++
+		if float64(v) > bestVal {
+			bestVal, bestIdx = float64(v), i
+		}
+	}
+	if bestIdx < 0 {
+		bestIdx = p.rng.Intn(len(candidates)) // no opinions at all: blind pick
+	}
+	res.Chosen = candidates[bestIdx]
+	res.Outcome = s.oracle.TransactionOutcome(int(res.Chosen))
+	if tx.lastResp > 0 {
+		res.ResponseTime = tx.lastResp - tx.start
+	}
+	s.curTx = nil
+
+	// §3.4.3 maintenance: update expertise of responders on the chosen
+	// provider's observed outcome; handle non-responders as offline; drop
+	// agents below the removal threshold.
+	var toRemove []topology.NodeID
+	var toBackup []topology.NodeID
+	for _, e := range p.list.entries {
+		ests, responded := tx.responses[e.agent]
+		if !responded {
+			if e.expertise.Value() > 0 {
+				toBackup = append(toBackup, e.agent)
+			} else {
+				toRemove = append(toRemove, e.agent)
+			}
+			continue
+		}
+		e.expertise.Update(ests[bestIdx].Consistent(res.Outcome))
+		if e.expertise.Value() < s.cfg.RemoveThreshold {
+			toRemove = append(toRemove, e.agent)
+			p.banned[e.agent] = true // never re-select a known-poor agent (§4.2.2)
+		}
+	}
+	for _, id := range toBackup {
+		p.list.remove(id, true)
+	}
+	for _, id := range toRemove {
+		p.list.remove(id, false)
+	}
+
+	// Refill when the list gets thin: probe backups first, then a new
+	// agent-list request (§3.4.3).
+	if len(p.list.entries) < s.cfg.RefillBelow {
+		s.refill(requestor)
+	}
+
+	// §3.6: report the transaction result to all (current) trusted agents
+	// through their onions. Under the §4.2.3 manipulation attack,
+	// untrustworthy peers invert their reports.
+	reported := res.Outcome
+	if s.cfg.LyingReporters && !s.oracle.Trustworthy(int(requestor)) {
+		reported = !res.Outcome
+	}
+	for _, e := range p.list.entries {
+		path := append(append([]topology.NodeID(nil), e.route...), e.agent)
+		s.onionSend(requestor, KindReport, path, reportPayload{
+			reporter: requestor, subject: res.Chosen, positive: reported,
+		})
+	}
+	s.net.Run(0)
+
+	res.TrustMessages = trafficMessages(s.net) - trustBefore
+	res.MaintMessages = maintMessages(s.net) - maintBefore
+	return res
+}
+
+// refill probes backup agents and restores live ones, then tops the list up
+// with a fresh agent-list walk if still below the trusted-agent target.
+func (s *System) refill(id topology.NodeID) {
+	p := s.peers[id]
+	if len(p.list.backups) > 0 {
+		s.curProbe = &probeCollect{acks: make(map[topology.NodeID]bool)}
+		for _, b := range p.list.backups {
+			s.net.SendBytes(id, b.agent, KindProbe, probePayload{origin: id, agent: b.agent}, probeSize())
+		}
+		s.net.Run(0)
+		for agent := range s.curProbe.acks {
+			if len(p.list.entries) >= s.cfg.TrustedAgents {
+				break
+			}
+			p.list.restore(agent)
+		}
+		s.curProbe = nil
+	}
+	if len(p.list.entries) < s.cfg.TrustedAgents {
+		s.acquireAgents(id)
+	}
+}
+
+// RunRandomTransaction picks a random requestor and candidate set and runs a
+// transaction, the workload unit of §5.2 ("started with randomly selecting a
+// peer as a potential service provider").
+func (s *System) RunRandomTransaction() TxResult {
+	n := s.net.Graph().N()
+	requestor := topology.NodeID(s.wrng.Intn(n))
+	return s.RunTransaction(requestor, s.PickCandidates(requestor))
+}
+
+// PickCandidates draws CandidatesPerTx distinct provider candidates != requestor.
+func (s *System) PickCandidates(requestor topology.NodeID) []topology.NodeID {
+	w := s.wrng
+	n := s.net.Graph().N()
+	out := make([]topology.NodeID, 0, s.cfg.CandidatesPerTx)
+	for _, idx := range w.Choose(n-1, s.cfg.CandidatesPerTx) {
+		id := topology.NodeID(idx)
+		if id >= requestor {
+			id++
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package gnutella
+
+import (
+	"testing"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+func world(t *testing.T, n int, seed int64) (*simnet.Network, *Catalog) {
+	t.Helper()
+	rng := xrand.New(seed)
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: n, AvgDegree: 4}, rng.Split("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := NewCatalog(n, DefaultCatalogSpec(), rng.Split("catalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, cat
+}
+
+func wire(net *simnet.Network, s *Search) {
+	for _, v := range net.Graph().Nodes() {
+		net.SetHandler(v, func(nw *simnet.Network, m simnet.Message) { s.Handle(nw, m) })
+	}
+}
+
+func TestCatalogSpecValidate(t *testing.T) {
+	bad := []CatalogSpec{
+		{Titles: 0, CopiesMean: 1, Skew: 1.2},
+		{Titles: 10, CopiesMean: 0, Skew: 1.2},
+		{Titles: 10, CopiesMean: 1, Skew: 1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if DefaultCatalogSpec().Validate() != nil {
+		t.Error("default spec invalid")
+	}
+}
+
+func TestCatalogEveryTitleHeld(t *testing.T) {
+	_, cat := world(t, 200, 1)
+	if len(cat.Titles()) != DefaultCatalogSpec().Titles {
+		t.Fatalf("%d titles, want %d", len(cat.Titles()), DefaultCatalogSpec().Titles)
+	}
+	for _, title := range cat.Titles() {
+		if len(cat.Holders(title)) == 0 {
+			t.Fatalf("title %s has no holders", title)
+		}
+	}
+}
+
+func TestCatalogPopularitySkew(t *testing.T) {
+	_, cat := world(t, 300, 2)
+	popular := len(cat.Holders(titleFor(0)))
+	// Average over unpopular tail.
+	tail := 0
+	for rank := 150; rank < 200; rank++ {
+		tail += len(cat.Holders(titleFor(rank)))
+	}
+	tailMean := float64(tail) / 50
+	if float64(popular) < 2*tailMean {
+		t.Fatalf("no popularity skew: rank0=%d copies, tail mean %.1f", popular, tailMean)
+	}
+}
+
+func TestCatalogConsistency(t *testing.T) {
+	_, cat := world(t, 150, 3)
+	// byNode and byTitle must agree.
+	for node := 0; node < 150; node++ {
+		for _, f := range cat.FilesOf(topology.NodeID(node)) {
+			found := false
+			for _, h := range cat.Holders(f.Name) {
+				if h == topology.NodeID(node) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %d holds %s but is not in holders index", node, f.Name)
+			}
+		}
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	f := File{Name: "file-0042", Keywords: []string{"kw42", "kw2"}}
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"file-0042", true},
+		{"FILE-0042", true}, // case-insensitive
+		{"kw42", true},
+		{"0042 kw42", true}, // all tokens must match
+		{"file-0042 zzz", false},
+		{"", true}, // empty query matches everything
+		{"file", true},
+	}
+	for _, c := range cases {
+		if got := Match(f, c.q); got != c.want {
+			t.Errorf("Match(%q)=%v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSearchFindsPopularFile(t *testing.T) {
+	net, cat := world(t, 300, 4)
+	s := NewSearch(net, cat)
+	wire(net, s)
+	title := titleFor(0) // most popular: many replicas
+	hits := s.Run(5, title, 7)
+	if len(hits) == 0 {
+		t.Fatal("no hits for the most popular file with TTL 7")
+	}
+	for _, h := range hits {
+		if h.File.Name != title {
+			t.Fatalf("hit for wrong file %s", h.File.Name)
+		}
+		if !contains(cat.Holders(title), h.Provider) {
+			t.Fatalf("hit from non-holder %d", h.Provider)
+		}
+	}
+}
+
+func TestSearchHitsSortedByHops(t *testing.T) {
+	net, cat := world(t, 300, 5)
+	s := NewSearch(net, cat)
+	wire(net, s)
+	hits := s.Run(9, titleFor(1), 7)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Hops < hits[i-1].Hops {
+			t.Fatal("hits not sorted by hop distance")
+		}
+	}
+}
+
+func TestSearchTTLBoundsReach(t *testing.T) {
+	net, cat := world(t, 400, 6)
+	s := NewSearch(net, cat)
+	wire(net, s)
+	low := len(s.Run(3, titleFor(0), 1))
+	high := len(s.Run(3, titleFor(0), 7))
+	if low > high {
+		t.Fatalf("ttl=1 found %d, ttl=7 found %d", low, high)
+	}
+	// Providers beyond TTL hops must not answer.
+	g := net.Graph()
+	for _, h := range s.Run(3, titleFor(0), 2) {
+		if h.Provider == 3 {
+			continue
+		}
+		d := g.BFSDistances(3)[h.Provider]
+		if d > 2 {
+			t.Fatalf("provider %d at distance %d answered a TTL-2 query", h.Provider, d)
+		}
+	}
+}
+
+func TestSearchLocalFilesFree(t *testing.T) {
+	net, cat := world(t, 100, 7)
+	s := NewSearch(net, cat)
+	wire(net, s)
+	// Find a node that holds some file; its own search must include itself
+	// at hop 0 without messages.
+	var holder topology.NodeID = -1
+	var title string
+	for v := 0; v < 100; v++ {
+		if fs := cat.FilesOf(topology.NodeID(v)); len(fs) > 0 {
+			holder, title = topology.NodeID(v), fs[0].Name
+			break
+		}
+	}
+	if holder < 0 {
+		t.Skip("no holder in tiny catalog")
+	}
+	hits := s.Run(holder, title, 1)
+	found := false
+	for _, h := range hits {
+		if h.Provider == holder && h.Hops != 0 {
+			t.Fatal("local hit has nonzero hops")
+		}
+		if h.Provider == holder {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("own file not found locally")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	hits := []Hit{
+		{Provider: 4, Hops: 1},
+		{Provider: 4, Hops: 2}, // duplicate provider
+		{Provider: 9, Hops: 2},
+		{Provider: 2, Hops: 3}, // the requestor
+		{Provider: 11, Hops: 3},
+	}
+	got := Candidates(hits, 2, 2)
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("candidates %v", got)
+	}
+	all := Candidates(hits, 2, 10)
+	if len(all) != 3 {
+		t.Fatalf("all candidates %v", all)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	run := func() []Hit {
+		net, cat := world(t, 200, 8)
+		s := NewSearch(net, cat)
+		wire(net, s)
+		return s.Run(3, titleFor(0), 5)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("hit counts differ")
+	}
+	for i := range a {
+		if a[i].Provider != b[i].Provider || a[i].Hops != b[i].Hops {
+			t.Fatal("hits differ")
+		}
+	}
+}
+
+func TestQueryTrafficCounted(t *testing.T) {
+	net, cat := world(t, 200, 9)
+	s := NewSearch(net, cat)
+	wire(net, s)
+	s.Run(3, titleFor(0), 4)
+	if net.Count(KindQuery) == 0 {
+		t.Fatal("query flood not counted")
+	}
+	// Query traffic kinds are distinct from reputation kinds, so Figure 5's
+	// trust-only accounting is unaffected.
+	if net.Count("hirep/trust-req") != 0 {
+		t.Fatal("query flood leaked into trust counters")
+	}
+}
+
+func contains(ids []topology.NodeID, id topology.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"hirep/internal/onion"
+	"hirep/internal/pkc"
+)
+
+// benchFleet builds agent + peer + relay once per benchmark.
+func benchFleet(b *testing.B) (agentNode, peer *Node, info AgentInfo, replyOnion *onion.Onion) {
+	b.Helper()
+	mk := func(isAgent bool) *Node {
+		n, err := Listen("127.0.0.1:0", Options{Agent: isAgent, Timeout: 10 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	agentNode, peer = mk(true), mk(false)
+	relay := mk(false)
+	rel, err := agentNode.FetchAnonKey(relay.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := agentNode.BuildOnion([]relayAlias{rel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	info = agentNode.Info(o)
+	prel, err := peer.FetchAnonKey(relay.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	po, err := peer.BuildOnion([]relayAlias{prel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return agentNode, peer, info, po
+}
+
+// BenchmarkLiveTrustRequest measures one full onion-routed trust request /
+// response round trip over real loopback TCP with real crypto (seal, peel,
+// sign, verify at every stage).
+func BenchmarkLiveTrustRequest(b *testing.B) {
+	_, peer, info, replyOnion := benchFleet(b)
+	subject, _ := pkc.NewIdentity(nil)
+	// Warm: registers the peer's key at the agent.
+	if _, _, err := peer.RequestTrust(info, subject.ID, replyOnion); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := peer.RequestTrust(info, subject.ID, replyOnion); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveReport measures one signed, sealed, onion-routed transaction
+// report (fire-and-forget).
+func BenchmarkLiveReport(b *testing.B) {
+	_, peer, info, replyOnion := benchFleet(b)
+	subject, _ := pkc.NewIdentity(nil)
+	if _, _, err := peer.RequestTrust(info, subject.ID, replyOnion); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := peer.ReportTransaction(info, subject.ID, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelayHandshake measures the complete Figure 3 anonymity-key fetch
+// (two TCP round trips, two seals, two opens).
+func BenchmarkRelayHandshake(b *testing.B) {
+	_, peer, _, _ := benchFleet(b)
+	relay, err := Listen("127.0.0.1:0", Options{Timeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = relay.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peer.FetchAnonKey(relay.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hirep/internal/onion"
+	"hirep/internal/pkc"
+	"hirep/internal/trust"
+)
+
+// AgentBook is the live-node counterpart of the simulated peer's trusted
+// agent list (§3.4): it holds up to max verified agent descriptors with an
+// expertise EWMA per agent, removes agents that fall below the threshold,
+// and keeps demoted-but-positive agents in a backup cache.
+type AgentBook struct {
+	mu        sync.Mutex
+	max       int
+	alpha     float64
+	threshold float64
+	entries   map[pkc.NodeID]*bookEntry
+	backups   []*bookEntry // most recently demoted first
+	banned    map[pkc.NodeID]bool
+}
+
+type bookEntry struct {
+	info      AgentInfo
+	expertise *trust.Expertise
+}
+
+// NewAgentBook creates a book holding at most max agents, with expertise
+// EWMA factor alpha and removal threshold.
+func NewAgentBook(max int, alpha, threshold float64) (*AgentBook, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("node: book size must be >= 1, got %d", max)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("node: alpha must be in (0,1), got %v", alpha)
+	}
+	if threshold < 0 || threshold >= 1 {
+		return nil, fmt.Errorf("node: threshold must be in [0,1), got %v", threshold)
+	}
+	return &AgentBook{
+		max:       max,
+		alpha:     alpha,
+		threshold: threshold,
+		entries:   make(map[pkc.NodeID]*bookEntry),
+		banned:    make(map[pkc.NodeID]bool),
+	}, nil
+}
+
+// Add inserts a verified agent descriptor with initial expertise 1
+// (§3.4.3). It reports whether the agent was added: duplicates, banned
+// agents, descriptors failing verification, and a full book are rejected.
+func (b *AgentBook) Add(info AgentInfo) bool {
+	if info.Onion == nil || info.Onion.VerifySig(info.SP) != nil {
+		return false
+	}
+	id := info.ID()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.banned[id] {
+		return false
+	}
+	if _, dup := b.entries[id]; dup {
+		return false
+	}
+	if len(b.entries) >= b.max {
+		return false
+	}
+	exp, err := trust.NewExpertise(b.alpha)
+	if err != nil {
+		return false
+	}
+	b.entries[id] = &bookEntry{info: info, expertise: exp}
+	return true
+}
+
+// Agents returns the current trusted agents, most expert first.
+func (b *AgentBook) Agents() []AgentInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	type row struct {
+		info AgentInfo
+		e    float64
+	}
+	rows := make([]row, 0, len(b.entries))
+	for _, en := range b.entries {
+		rows = append(rows, row{en.info, en.expertise.Value()})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].e != rows[j].e {
+			return rows[i].e > rows[j].e
+		}
+		return rows[i].info.ID().String() < rows[j].info.ID().String()
+	})
+	out := make([]AgentInfo, len(rows))
+	for i, r := range rows {
+		out[i] = r.info
+	}
+	return out
+}
+
+// Len returns the number of trusted agents.
+func (b *AgentBook) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Expertise returns the tracked expertise of an agent.
+func (b *AgentBook) Expertise(id pkc.NodeID) (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[id]; ok {
+		return e.expertise.Value(), true
+	}
+	return 0, false
+}
+
+// RecordOutcome folds one transaction's consistency observation into an
+// agent's expertise (§3.4.3) and removes + bans the agent when it falls
+// below the threshold. It reports whether the agent was removed.
+func (b *AgentBook) RecordOutcome(id pkc.NodeID, consistent bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return false
+	}
+	e.expertise.Update(consistent)
+	if e.expertise.Value() < b.threshold {
+		delete(b.entries, id)
+		b.banned[id] = true
+		return true
+	}
+	return false
+}
+
+// Demote moves an unresponsive agent to the backup cache when its expertise
+// is positive, else drops it (§3.4.3's offline handling).
+func (b *AgentBook) Demote(id pkc.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return
+	}
+	delete(b.entries, id)
+	if e.expertise.Value() > 1e-6 {
+		b.backups = append([]*bookEntry{e}, b.backups...)
+		if len(b.backups) > b.max {
+			b.backups = b.backups[:b.max]
+		}
+	}
+}
+
+// Restore moves a backup agent back into the book (after a successful
+// probe); it reports success.
+func (b *AgentBook) Restore(id pkc.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) >= b.max {
+		return false
+	}
+	for i, e := range b.backups {
+		if e.info.ID() == id {
+			b.backups = append(b.backups[:i], b.backups[i+1:]...)
+			b.entries[id] = e
+			return true
+		}
+	}
+	return false
+}
+
+// Backups returns the backup-cache agent IDs, most recently demoted first.
+func (b *AgentBook) Backups() []pkc.NodeID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]pkc.NodeID, len(b.backups))
+	for i, e := range b.backups {
+		out[i] = e.info.ID()
+	}
+	return out
+}
+
+// EvaluateSubject asks every trusted agent in book for subject's trust value
+// through onions and returns the expertise-weighted aggregate plus each
+// agent's individual answer. Agents that fail or time out are absent from
+// the per-agent map; callers typically Demote them.
+func (n *Node) EvaluateSubject(book *AgentBook, subject pkc.NodeID, replyOnion *onion.Onion) (trust.Value, map[pkc.NodeID]trust.Value, error) {
+	agents := book.Agents()
+	if len(agents) == 0 {
+		return 0, nil, fmt.Errorf("node: agent book is empty")
+	}
+	type answer struct {
+		id pkc.NodeID
+		v  trust.Value
+		ok bool
+	}
+	ch := make(chan answer, len(agents))
+	for _, a := range agents {
+		a := a
+		go func() {
+			v, _, err := n.RequestTrust(a, subject, replyOnion)
+			ch <- answer{id: a.ID(), v: v, ok: err == nil}
+		}()
+	}
+	perAgent := make(map[pkc.NodeID]trust.Value)
+	var agg trust.Aggregate
+	for range agents {
+		ans := <-ch
+		if !ans.ok {
+			continue
+		}
+		perAgent[ans.id] = ans.v
+		w, _ := book.Expertise(ans.id)
+		agg.Add(ans.v, w)
+	}
+	v, ok := agg.Value()
+	if !ok {
+		return trust.Value(math.NaN()), perAgent, fmt.Errorf("node: no agent answered")
+	}
+	return v, perAgent, nil
+}
+
+// CompleteTransaction finishes a live transaction: it updates every
+// answering agent's expertise against the observed outcome, demotes agents
+// that did not answer, and reports the outcome to all remaining trusted
+// agents (§3.6). It returns the IDs removed for poor expertise.
+func (n *Node) CompleteTransaction(book *AgentBook, subject pkc.NodeID, outcome bool, perAgent map[pkc.NodeID]trust.Value) []pkc.NodeID {
+	var removed []pkc.NodeID
+	for _, a := range book.Agents() {
+		id := a.ID()
+		v, answered := perAgent[id]
+		if !answered {
+			book.Demote(id)
+			continue
+		}
+		if book.RecordOutcome(id, v.Consistent(outcome)) {
+			removed = append(removed, id)
+		}
+	}
+	for _, a := range book.Agents() {
+		_ = n.ReportTransaction(a, subject, outcome)
+	}
+	return removed
+}

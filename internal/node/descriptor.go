@@ -1,0 +1,52 @@
+package node
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"encoding/base64"
+	"fmt"
+
+	"hirep/internal/wire"
+)
+
+// EncodeInfo serializes an agent descriptor to a printable base64 string, so
+// an operator can hand an agent's identity to peers out of band (the live
+// prototype's stand-in for the agent-list request walk).
+func EncodeInfo(info AgentInfo) string {
+	var e wire.Encoder
+	e.Bytes(info.SP)
+	e.Bytes(info.AP.Bytes())
+	encodeOnion(&e, info.Onion)
+	return base64.StdEncoding.EncodeToString(e.Encode())
+}
+
+// DecodeInfo parses a descriptor produced by EncodeInfo and verifies the
+// onion signature against the embedded SP.
+func DecodeInfo(s string) (AgentInfo, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return AgentInfo{}, fmt.Errorf("node: descriptor base64: %w", err)
+	}
+	d := wire.NewDecoder(raw)
+	sp := append([]byte(nil), d.Bytes()...)
+	apRaw := d.Bytes()
+	o, onionErr := decodeOnion(d)
+	if err := d.Finish(); err != nil {
+		return AgentInfo{}, fmt.Errorf("node: descriptor fields: %w", err)
+	}
+	if onionErr != nil {
+		return AgentInfo{}, onionErr
+	}
+	if len(sp) != ed25519.PublicKeySize {
+		return AgentInfo{}, fmt.Errorf("node: descriptor SP has %d bytes", len(sp))
+	}
+	ap, err := ecdh.X25519().NewPublicKey(apRaw)
+	if err != nil {
+		return AgentInfo{}, fmt.Errorf("node: descriptor AP: %w", err)
+	}
+	info := AgentInfo{SP: ed25519.PublicKey(sp), AP: ap, Onion: o}
+	if err := info.Onion.VerifySig(info.SP); err != nil {
+		return AgentInfo{}, fmt.Errorf("node: descriptor onion: %w", err)
+	}
+	return info, nil
+}

@@ -1,0 +1,64 @@
+package node
+
+import (
+	"encoding/base64"
+	"testing"
+
+	"hirep/internal/pkc"
+)
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	nodes := fleet(t, 2, 1)
+	info := liveAgentInfo(t, nodes[0], nodes[1])
+	desc := EncodeInfo(info)
+	got, err := DecodeInfo(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != info.ID() {
+		t.Fatal("identity changed in round trip")
+	}
+	if got.Onion.Entry != info.Onion.Entry || got.Onion.Seq != info.Onion.Seq {
+		t.Fatal("onion fields changed")
+	}
+}
+
+func TestDecodeInfoRejectsTamperedOnion(t *testing.T) {
+	nodes := fleet(t, 2, 1)
+	info := liveAgentInfo(t, nodes[0], nodes[1])
+	raw, err := base64.StdEncoding.DecodeString(EncodeInfo(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the onion blob region (well past the keys).
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-80] ^= 0x20
+	if _, err := DecodeInfo(base64.StdEncoding.EncodeToString(mut)); err == nil {
+		t.Fatal("tampered descriptor accepted")
+	}
+}
+
+func TestDecodeInfoRejectsSubstitutedSP(t *testing.T) {
+	// A MITM replacing the SP breaks the onion signature, so a descriptor
+	// cannot be re-attributed to a different identity.
+	nodes := fleet(t, 2, 1)
+	info := liveAgentInfo(t, nodes[0], nodes[1])
+	other, _ := pkc.NewIdentity(nil)
+	forged := info
+	forged.SP = other.Sign.Public
+	if _, err := DecodeInfo(EncodeInfo(forged)); err == nil {
+		t.Fatal("descriptor with substituted SP accepted")
+	}
+}
+
+func TestDecodeInfoRejectsShortKeys(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"!!!not-base64!!!",
+		base64.StdEncoding.EncodeToString([]byte("too short")),
+	} {
+		if _, err := DecodeInfo(s); err == nil {
+			t.Fatalf("garbage descriptor %q accepted", s)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"hirep/internal/pkc"
+)
+
+// TestFullFleetLifecycle is the capstone live integration test: a 12-node
+// mesh (3 agents, 9 peers/relays) runs the complete autonomous protocol —
+// agents publish onions, peers discover them over the overlay, build
+// trusted-agent books, exchange onion-routed trust traffic, file signed
+// reports, and converge on a subject's reputation — with no out-of-band
+// state whatsoever.
+func TestFullFleetLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fleet test")
+	}
+	const n = 12
+	agentIdx := map[int]bool{0: true, 1: true, 2: true}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nd, err := Listen("127.0.0.1:0", Options{Agent: agentIdx[i], Timeout: 4 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Close() })
+		nodes[i] = nd
+	}
+	// Mesh overlay: node i links to i±1 and i±3 (mod n) — diameter ~3.
+	for i, nd := range nodes {
+		nbs := []string{
+			nodes[(i+1)%n].Addr(),
+			nodes[(i+n-1)%n].Addr(),
+			nodes[(i+3)%n].Addr(),
+			nodes[(i+n-3)%n].Addr(),
+		}
+		nd.SetNeighbors(nbs)
+	}
+
+	// Agents publish through two relay hops each.
+	for i := 0; i < 3; i++ {
+		relays := []string{nodes[3+i].Addr(), nodes[6+i].Addr()}
+		if _, err := nodes[i].PublishDescriptor(relays); err != nil {
+			t.Fatalf("agent %d publish: %v", i, err)
+		}
+	}
+
+	// Two independent peers bootstrap entirely over the network.
+	requestor, reporter := nodes[9], nodes[10]
+	books := make(map[*Node]*AgentBook)
+	for _, p := range []*Node{requestor, reporter} {
+		infos, err := p.DiscoverAgents(12, 4, 1200*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		book, err := NewAgentBook(10, 0.3, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range infos {
+			book.Add(info)
+		}
+		if book.Len() < 2 {
+			t.Fatalf("peer discovered only %d agents", book.Len())
+		}
+		books[p] = book
+	}
+
+	// The reporter transacts with a provider and tells its agents.
+	provider, err := pkc.NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOnion, err := reporter.BuildOnion(fetchRoute(t, reporter, []*Node{nodes[4], nodes[7]}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Introduce (registers the key at every agent), then report twice.
+	if _, _, err := reporter.EvaluateSubject(books[reporter], provider.ID, repOnion); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for _, a := range books[reporter].Agents() {
+			if err := reporter.ReportTransaction(a, provider.ID, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, func() bool {
+		total := 0
+		for i := 0; i < 3; i++ {
+			total += nodes[i].Agent().ReportCount()
+		}
+		return total >= 2*books[reporter].Len()
+	})
+
+	// The requestor — who has never spoken to the reporter — now learns the
+	// provider's reputation through the shared agents.
+	reqOnion, err := requestor.BuildOnion(fetchRoute(t, requestor, []*Node{nodes[5], nodes[8]}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, perAgent, err := requestor.EvaluateSubject(books[requestor], provider.ID, reqOnion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perAgent) < 2 {
+		t.Fatalf("only %d agents answered the requestor", len(perAgent))
+	}
+	// At least one shared agent holds the reporter's positive evidence, so
+	// the aggregate must lean positive (> 0.5 uninformed prior).
+	if v <= 0.5 {
+		t.Fatalf("reputation did not propagate: aggregate %v", v)
+	}
+	// Complete the transaction loop.
+	removed := requestor.CompleteTransaction(books[requestor], provider.ID, true, perAgent)
+	if len(removed) != 0 {
+		t.Fatalf("consistent agents were removed: %v", removed)
+	}
+}
+
+// TestStatsCounters checks the observability counters across a simple
+// exchange.
+func TestStatsCounters(t *testing.T) {
+	nodes := fleet(t, 3, 1)
+	agentNode, peer, relay := nodes[0], nodes[1], nodes[2]
+	agentOnion, err := agentNode.BuildOnion(fetchRoute(t, agentNode, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := agentNode.Info(agentOnion)
+	subject, _ := pkc.NewIdentity(nil)
+	peerOnion, err := peer.BuildOnion(fetchRoute(t, peer, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := peer.RequestTrust(info, subject.ID, peerOnion); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.ReportTransaction(info, subject.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return agentNode.Stats().ReportsStored == 1 })
+
+	rs := relay.Stats()
+	if rs.OnionsForwarded < 2 {
+		t.Fatalf("relay forwarded %d onions, expected >= 2 (req + resp)", rs.OnionsForwarded)
+	}
+	if rs.OnionsExited != 0 {
+		t.Fatal("relay consumed onion payloads addressed elsewhere")
+	}
+	as := agentNode.Stats()
+	if as.TrustServed != 1 {
+		t.Fatalf("agent served %d trust requests", as.TrustServed)
+	}
+	if as.OnionsExited < 2 {
+		t.Fatalf("agent exits %d", as.OnionsExited)
+	}
+	ps := peer.Stats()
+	if ps.OnionsExited != 1 { // the trust response
+		t.Fatalf("peer exits %d", ps.OnionsExited)
+	}
+	if ps.FramesIn == 0 {
+		t.Fatal("no frames counted")
+	}
+	if s := ps.String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -1,0 +1,366 @@
+// Package node is the live hiREP node prototype — the paper's stated future
+// work ("developing a hiREP prototype", §6) — running the real protocol over
+// TCP with real cryptography: self-certifying identities (internal/pkc),
+// the Figure 3 relay handshake and layered onions (internal/onion), and the
+// reputation-agent report store (internal/agentdir).
+//
+// Every node can act as an onion relay; nodes started with Options.Agent
+// additionally serve trust-value requests and accept signed transaction
+// reports. Requestors reach agents exclusively through the agents' published
+// onions and receive responses through their own onions, so neither side
+// learns the other's transport address (§3.5).
+package node
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hirep/internal/agentdir"
+	"hirep/internal/onion"
+	"hirep/internal/pkc"
+	"hirep/internal/trust"
+	"hirep/internal/wire"
+)
+
+// Errors returned by the node.
+var (
+	ErrClosed     = errors.New("node: closed")
+	ErrTimeout    = errors.New("node: request timed out")
+	ErrBadAgent   = errors.New("node: agent response failed verification")
+	ErrNotAgent   = errors.New("node: this node is not an agent")
+	ErrBadMessage = errors.New("node: malformed message")
+)
+
+// Options configures a node.
+type Options struct {
+	// Agent enables the reputation-agent role.
+	Agent bool
+	// Timeout bounds dials and request waits (default 5s).
+	Timeout time.Duration
+}
+
+// AgentInfo is what a trusted-agent list entry holds about an agent in the
+// live protocol: its signature key (authenticity), anonymity key (payload
+// confidentiality), and published onion (reachability without an address).
+type AgentInfo struct {
+	SP    ed25519.PublicKey
+	AP    *ecdh.PublicKey
+	Onion *onion.Onion
+}
+
+// ID returns the agent's self-certifying node ID.
+func (a AgentInfo) ID() pkc.NodeID { return pkc.DeriveNodeID(a.SP) }
+
+// trustResponse is a decoded, verified trust-value response.
+type trustResponse struct {
+	subject pkc.NodeID
+	value   trust.Value
+	hasData bool
+}
+
+// Node is one live hiREP participant.
+type Node struct {
+	opts    Options
+	ln      net.Listener
+	agent   *agentdir.Agent
+	ages    *onion.AgeTracker
+	seqMu   sync.Mutex
+	seq     uint64
+	mu      sync.Mutex
+	id      *pkc.Identity
+	prev    []*pkc.Identity                 // predecessors kept during rotation grace period
+	hs      map[pkc.Nonce]onion.RelayAnswer // outstanding relay handshakes
+	pending map[pkc.Nonce]chan trustResponse
+	closed  bool
+	wg      sync.WaitGroup
+
+	// stats holds the operational counters (stats.go).
+	stats nodeStats
+
+	// Agent discovery state (discovery.go).
+	neighbors     []string
+	ownDescriptor string
+	agentCache    map[pkc.NodeID]string
+	discoveries   map[pkc.Nonce]*discoveryCollect
+	walksSeen     *pkc.ReplayCache
+}
+
+// relayAlias is the onion-route hop type returned by FetchAnonKey.
+type relayAlias = onion.Relay
+
+// maxPrevIdentities bounds the rotation grace window: onions sealed to older
+// identities than this stop being peelable.
+const maxPrevIdentities = 2
+
+// SetTimeout adjusts the node's dial/request timeout at runtime.
+func (n *Node) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.mu.Lock()
+	n.opts.Timeout = d
+	n.mu.Unlock()
+}
+
+// timeout returns the current dial/request timeout (thread-safe).
+func (n *Node) timeout() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.opts.Timeout
+}
+
+// identity returns the node's current identity (thread-safe).
+func (n *Node) identity() *pkc.Identity {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.id
+}
+
+// identities returns the current identity followed by grace-period
+// predecessors, newest first.
+func (n *Node) identities() []*pkc.Identity {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*pkc.Identity, 0, 1+len(n.prev))
+	out = append(out, n.id)
+	return append(out, n.prev...)
+}
+
+// Listen starts a node on addr ("127.0.0.1:0" for an ephemeral port).
+func Listen(addr string, opts Options) (*Node, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	id, err := pkc.NewIdentity(nil)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen: %w", err)
+	}
+	n := &Node{
+		id:      id,
+		opts:    opts,
+		ln:      ln,
+		ages:    onion.NewAgeTracker(),
+		hs:      make(map[pkc.Nonce]onion.RelayAnswer),
+		pending: make(map[pkc.Nonce]chan trustResponse),
+	}
+	if opts.Agent {
+		n.agent = agentdir.New(id, 0)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() pkc.NodeID { return n.identity().ID }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SignPublic returns the node's signature public key (SP).
+func (n *Node) SignPublic() ed25519.PublicKey { return n.identity().Sign.Public }
+
+// AnonPublic returns the node's anonymity public key (AP).
+func (n *Node) AnonPublic() *ecdh.PublicKey { return n.identity().Anon.Public }
+
+// Agent returns the node's agent state (nil for non-agents), for inspection.
+func (n *Node) Agent() *agentdir.Agent { return n.agent }
+
+// Close shuts the node down and waits for in-flight handlers.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(n.timeout()))
+			typ, payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				n.countFrame(0, false)
+				return
+			}
+			n.countFrame(typ, true)
+			n.handle(conn, typ, payload)
+		}()
+	}
+}
+
+// handle dispatches one inbound frame. Handshake frames answer on the same
+// connection; onion frames are one-way.
+func (n *Node) handle(conn net.Conn, typ wire.MsgType, payload []byte) {
+	switch typ {
+	case wire.TRelayRequest:
+		n.handleRelayRequest(conn, payload)
+	case wire.TKeyVerify:
+		n.handleKeyVerify(conn, payload)
+	case wire.TOnion:
+		n.handleOnion(payload)
+	case wire.TAgentListReq:
+		n.handleAgentListReq(payload)
+	case wire.TAgentListResp:
+		n.handleAgentListResp(payload)
+	case wire.TPing:
+		// §3.4.3 backup probe: echo the payload so the prober can match it.
+		_ = wire.WriteFrame(conn, wire.TPong, payload)
+	}
+}
+
+func (n *Node) handleRelayRequest(conn net.Conn, payload []byte) {
+	req, err := onion.DecodeRelayRequest(payload)
+	if err != nil {
+		return
+	}
+	ans, err := onion.AnswerRelayRequest(n.identity(), n.Addr(), req, nil)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.hs[ans.Nonce] = ans
+	n.mu.Unlock()
+	_ = wire.WriteFrame(conn, wire.TRelayResponse, ans.Response)
+}
+
+func (n *Node) handleKeyVerify(conn net.Conn, payload []byte) {
+	kv, err := onion.OpenKeyVerify(n.identity(), payload)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	_, ok := n.hs[kv.Nonce]
+	if ok {
+		delete(n.hs, kv.Nonce) // one confirmation per handshake: replay-proof
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	confirm, err := onion.ConfirmKeyVerify(n.Addr(), kv, nil)
+	if err != nil {
+		return
+	}
+	_ = wire.WriteFrame(conn, wire.TKeyConfirm, confirm)
+}
+
+// handleOnion peels one layer and either forwards or consumes the payload.
+func (n *Node) handleOnion(payload []byte) {
+	d := wire.NewDecoder(payload)
+	blob := d.Bytes()
+	innerType := wire.MsgType(d.U64())
+	inner := d.Bytes()
+	if d.Finish() != nil {
+		return
+	}
+	res, ok := n.peelAny(blob)
+	if !ok {
+		n.stats.onionsRejcted.Add(1)
+		return
+	}
+	if !res.Exit {
+		n.stats.onionsForwarded.Add(1)
+		// Relay: forward to the next hop; the inner payload is untouched, so
+		// relays learn nothing about content or endpoints.
+		var e wire.Encoder
+		e.Bytes(res.Inner).U64(uint64(innerType)).Bytes(inner)
+		_ = n.send(res.Next, wire.TOnion, e.Encode())
+		return
+	}
+	n.stats.onionsExited.Add(1)
+	switch innerType {
+	case wire.TTrustReq:
+		n.handleTrustReq(inner)
+	case wire.TTrustResp:
+		n.handleTrustResp(inner)
+	case wire.TReport:
+		n.handleReport(inner)
+	case wire.TKeyUpdate:
+		n.handleKeyUpdate(inner)
+	}
+}
+
+// peelAny peels an onion layer with the current identity or a grace-period
+// predecessor (rotation keeps old onions usable briefly).
+func (n *Node) peelAny(blob []byte) (onion.PeelResult, bool) {
+	for _, id := range n.identities() {
+		if res, err := onion.Peel(id.Anon, blob); err == nil {
+			return res, true
+		}
+	}
+	return onion.PeelResult{}, false
+}
+
+// openAny opens a sealed payload with the current identity or a grace-period
+// predecessor, returning the identity that succeeded.
+func (n *Node) openAny(sealed []byte) (*pkc.Identity, []byte, bool) {
+	for _, id := range n.identities() {
+		if plain, err := id.Anon.Open(sealed); err == nil {
+			return id, plain, true
+		}
+	}
+	return nil, nil, false
+}
+
+// send dials addr and writes one frame.
+func (n *Node) send(addr string, typ wire.MsgType, payload []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, n.timeout())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.timeout()))
+	return wire.WriteFrame(conn, typ, payload)
+}
+
+// roundTrip dials addr, writes one frame, and reads one response frame.
+func (n *Node) roundTrip(addr string, typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, n.timeout())
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.timeout()))
+	if err := wire.WriteFrame(conn, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	return wire.ReadFrame(conn)
+}
+
+// nextSeq returns a fresh non-decreasing onion sequence number.
+func (n *Node) nextSeq() uint64 {
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	n.seq++
+	return n.seq
+}

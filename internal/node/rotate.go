@@ -1,0 +1,69 @@
+package node
+
+import (
+	"fmt"
+
+	"hirep/internal/pkc"
+	"hirep/internal/wire"
+)
+
+// This file implements the live side of §3.5's periodic key update: "New
+// public keys signed by current private key can be sent out using the most
+// recently received onions."
+
+// RotateIdentity generates a successor identity, announces it to the given
+// agents through their onions, and switches the node to the new identity.
+// The previous identity remains able to peel onions and open payloads for a
+// short grace window (old descriptors keep working until peers refresh), but
+// new signatures and reports use the successor. It returns the old and new
+// node IDs.
+func (n *Node) RotateIdentity(agents []AgentInfo) (oldID, newID pkc.NodeID, err error) {
+	if n.isClosed() {
+		return pkc.NodeID{}, pkc.NodeID{}, ErrClosed
+	}
+	n.mu.Lock()
+	old := n.id
+	next, updateWire, rerr := old.Rotate(nil)
+	if rerr != nil {
+		n.mu.Unlock()
+		return pkc.NodeID{}, pkc.NodeID{}, rerr
+	}
+	n.prev = append([]*pkc.Identity{old}, n.prev...)
+	if len(n.prev) > maxPrevIdentities {
+		n.prev = n.prev[:maxPrevIdentities]
+	}
+	n.id = next
+	n.mu.Unlock()
+
+	// Announce to every agent that knows the old identity, sealed to the
+	// agent and routed through its onion like any other report.
+	var firstErr error
+	for _, a := range agents {
+		sealed, serr := pkc.Seal(a.AP, updateWire, nil)
+		if serr != nil {
+			if firstErr == nil {
+				firstErr = serr
+			}
+			continue
+		}
+		if serr := n.sendThroughOnion(a.Onion, wire.TKeyUpdate, sealed); serr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("node: announce rotation: %w", serr)
+		}
+	}
+	return old.ID, next.ID, firstErr
+}
+
+// handleKeyUpdate applies a peer's key rotation at an agent: the agent
+// verifies the succession against the predecessor's registered key and
+// remaps its public-key list and report tallies (§3.5: "map and replace an
+// old nodeid to a new nodeid").
+func (n *Node) handleKeyUpdate(sealed []byte) {
+	if n.agent == nil {
+		return
+	}
+	_, plain, ok := n.openAny(sealed)
+	if !ok {
+		return
+	}
+	_, _ = n.agent.ApplyKeyUpdate(plain)
+}

@@ -1,0 +1,59 @@
+package node
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hirep/internal/wire"
+)
+
+// Stats are the live node's operational counters, for monitoring a deployed
+// node (printed by `hirepnode` on shutdown, scraped by tests).
+type Stats struct {
+	FramesIn        int64 // frames accepted from the listener
+	FramesBad       int64 // frames that failed to read or parse
+	OnionsForwarded int64 // relay duty: peeled and passed on
+	OnionsExited    int64 // onion payloads consumed at this node
+	OnionsRejected  int64 // blobs we could not peel (not ours / corrupt)
+	TrustServed     int64 // trust requests answered as an agent
+	ReportsStored   int64 // reports accepted into the agent store
+	WalksAnswered   int64 // agent-list walks answered
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("frames=%d bad=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d",
+		s.FramesIn, s.FramesBad, s.OnionsForwarded, s.OnionsExited,
+		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered)
+}
+
+// nodeStats is the atomic backing store.
+type nodeStats struct {
+	framesIn, framesBad                          atomic.Int64
+	onionsForwarded, onionsExited, onionsRejcted atomic.Int64
+	trustServed, reportsStored, walksAnswered    atomic.Int64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		FramesIn:        n.stats.framesIn.Load(),
+		FramesBad:       n.stats.framesBad.Load(),
+		OnionsForwarded: n.stats.onionsForwarded.Load(),
+		OnionsExited:    n.stats.onionsExited.Load(),
+		OnionsRejected:  n.stats.onionsRejcted.Load(),
+		TrustServed:     n.stats.trustServed.Load(),
+		ReportsStored:   n.stats.reportsStored.Load(),
+		WalksAnswered:   n.stats.walksAnswered.Load(),
+	}
+}
+
+// countFrame classifies one accepted frame.
+func (n *Node) countFrame(typ wire.MsgType, ok bool) {
+	if !ok {
+		n.stats.framesBad.Add(1)
+		return
+	}
+	n.stats.framesIn.Add(1)
+	_ = typ
+}

@@ -1,0 +1,230 @@
+package onion
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hirep/internal/pkc"
+)
+
+// This file implements the anonymity-key fetch handshake of Figure 3.
+//
+// When peer P picks relay K (P knows K's address because P picked it):
+//
+//  1. P → K : (Ro, AP_p, Addr_p)                      — plaintext relay request
+//  2. K → P : AP_p(AP_k, Addr_k, nonce)               — relay response
+//  3. P → K : AP_k(AP_p, Addr_p, nonce)               — key verification
+//  4. K → P : AP_p("confirmed", Addr_k, nonce)        — key confirmation
+//
+// Step 3 proves to K that P actually holds AR_p (it could open step 2), and
+// step 4 proves to P that the AP_k it received is live: if a
+// man-in-the-middle substituted AP_k in step 2, it cannot produce step 4's
+// confirmation for the same nonce, and P treats AP_k as invalid. The nonce
+// also defends K against replays of step 3.
+
+// Handshake message type tags.
+const (
+	tagRelayRequest byte = 1 + iota
+	tagRelayResponse
+	tagKeyVerify
+	tagKeyConfirm
+)
+
+var confirmedLiteral = []byte("confirmed")
+
+// RelayRequest is message 1, sent in plaintext.
+type RelayRequest struct {
+	AP   *ecdh.PublicKey // requester's anonymity public key AP_p
+	Addr string          // requester's address
+}
+
+// EncodeRelayRequest serializes message 1.
+func EncodeRelayRequest(req RelayRequest) []byte {
+	return encodeHS(tagRelayRequest, req.AP.Bytes(), []byte(req.Addr), nil)
+}
+
+// DecodeRelayRequest parses message 1.
+func DecodeRelayRequest(b []byte) (RelayRequest, error) {
+	tag, key, addr, _, err := decodeHS(b)
+	if err != nil || tag != tagRelayRequest {
+		return RelayRequest{}, fmt.Errorf("onion: bad relay request: %w", errOr(err))
+	}
+	ap, err := ecdh.X25519().NewPublicKey(key)
+	if err != nil {
+		return RelayRequest{}, fmt.Errorf("onion: bad relay request key: %w", err)
+	}
+	return RelayRequest{AP: ap, Addr: string(addr)}, nil
+}
+
+// RelayAnswer is what a relay produces for message 2 plus the state it must
+// remember to validate message 3.
+type RelayAnswer struct {
+	Response []byte    // message 2, sealed to the requester
+	Nonce    pkc.Nonce // nonce to match against message 3
+}
+
+// AnswerRelayRequest builds message 2 at relay K.
+func AnswerRelayRequest(k *pkc.Identity, kAddr string, req RelayRequest, rand io.Reader) (RelayAnswer, error) {
+	nonce, err := pkc.NewNonce(rand)
+	if err != nil {
+		return RelayAnswer{}, err
+	}
+	plain := encodeHS(tagRelayResponse, k.Anon.Public.Bytes(), []byte(kAddr), nonce[:])
+	box, err := pkc.Seal(req.AP, plain, rand)
+	if err != nil {
+		return RelayAnswer{}, err
+	}
+	return RelayAnswer{Response: box, Nonce: nonce}, nil
+}
+
+// RelayResponse is the decoded message 2.
+type RelayResponse struct {
+	AP    *ecdh.PublicKey // relay's anonymity public key AP_k
+	Addr  string
+	Nonce pkc.Nonce
+}
+
+// OpenRelayResponse decrypts and parses message 2 at the requester.
+func OpenRelayResponse(p *pkc.Identity, box []byte) (RelayResponse, error) {
+	plain, err := p.Anon.Open(box)
+	if err != nil {
+		return RelayResponse{}, fmt.Errorf("onion: open relay response: %w", err)
+	}
+	tag, key, addr, nonce, err := decodeHS(plain)
+	if err != nil || tag != tagRelayResponse || len(nonce) != pkc.NonceSize {
+		return RelayResponse{}, fmt.Errorf("onion: bad relay response: %w", errOr(err))
+	}
+	ap, err := ecdh.X25519().NewPublicKey(key)
+	if err != nil {
+		return RelayResponse{}, fmt.Errorf("onion: bad relay response key: %w", err)
+	}
+	var n pkc.Nonce
+	copy(n[:], nonce)
+	return RelayResponse{AP: ap, Addr: string(addr), Nonce: n}, nil
+}
+
+// BuildKeyVerify builds message 3 at the requester, echoing the nonce under
+// the relay's claimed key.
+func BuildKeyVerify(p *pkc.Identity, pAddr string, resp RelayResponse, rand io.Reader) ([]byte, error) {
+	plain := encodeHS(tagKeyVerify, p.Anon.Public.Bytes(), []byte(pAddr), resp.Nonce[:])
+	return pkc.Seal(resp.AP, plain, rand)
+}
+
+// KeyVerify is the decoded message 3 at the relay.
+type KeyVerify struct {
+	AP    *ecdh.PublicKey // requester's anonymity public key
+	Addr  string
+	Nonce pkc.Nonce
+}
+
+// OpenKeyVerify decrypts and parses message 3 at the relay, without deciding
+// whether the nonce is one the relay issued — callers holding several
+// outstanding handshakes look the nonce up first, then call ConfirmKeyVerify.
+func OpenKeyVerify(k *pkc.Identity, box []byte) (KeyVerify, error) {
+	plain, err := k.Anon.Open(box)
+	if err != nil {
+		return KeyVerify{}, fmt.Errorf("onion: open key verify: %w", err)
+	}
+	tag, key, addr, nonce, err := decodeHS(plain)
+	if err != nil || tag != tagKeyVerify || len(nonce) != pkc.NonceSize {
+		return KeyVerify{}, fmt.Errorf("onion: bad key verify: %w", errOr(err))
+	}
+	ap, err := ecdh.X25519().NewPublicKey(key)
+	if err != nil {
+		return KeyVerify{}, fmt.Errorf("onion: bad key verify key: %w", err)
+	}
+	var n pkc.Nonce
+	copy(n[:], nonce)
+	return KeyVerify{AP: ap, Addr: string(addr), Nonce: n}, nil
+}
+
+// ConfirmKeyVerify builds message 4 for an already-validated message 3.
+func ConfirmKeyVerify(kAddr string, kv KeyVerify, rand io.Reader) ([]byte, error) {
+	confirm := encodeHS(tagKeyConfirm, confirmedLiteral, []byte(kAddr), kv.Nonce[:])
+	return pkc.Seal(kv.AP, confirm, rand)
+}
+
+// VerifyAndConfirm processes message 3 at the relay: it checks that the
+// echoed nonce matches the one issued in message 2 and that the nonce is not
+// a replay, then builds message 4. replays may be nil to skip replay checks.
+func VerifyAndConfirm(k *pkc.Identity, kAddr string, expected pkc.Nonce, box []byte, replays *pkc.ReplayCache, rand io.Reader) ([]byte, error) {
+	kv, err := OpenKeyVerify(k, box)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(kv.Nonce[:], expected[:]) {
+		return nil, fmt.Errorf("onion: key verify nonce mismatch")
+	}
+	if replays != nil && !replays.Observe(expected) {
+		return nil, fmt.Errorf("onion: key verify replayed")
+	}
+	return ConfirmKeyVerify(kAddr, kv, rand)
+}
+
+// OpenConfirm validates message 4 at the requester. A nil error means AP_k is
+// confirmed valid; any failure means the requester must discard AP_k.
+func OpenConfirm(p *pkc.Identity, expected pkc.Nonce, box []byte) error {
+	plain, err := p.Anon.Open(box)
+	if err != nil {
+		return fmt.Errorf("onion: open confirm: %w", err)
+	}
+	tag, lit, _, nonce, err := decodeHS(plain)
+	if err != nil || tag != tagKeyConfirm {
+		return fmt.Errorf("onion: bad confirm: %w", errOr(err))
+	}
+	if !bytes.Equal(lit, confirmedLiteral) {
+		return fmt.Errorf("onion: confirm literal mismatch")
+	}
+	if !bytes.Equal(nonce, expected[:]) {
+		return fmt.Errorf("onion: confirm nonce mismatch")
+	}
+	return nil
+}
+
+// encodeHS packs tag || u16 len(a) || a || u16 len(b) || b || u16 len(c) || c.
+func encodeHS(tag byte, a, b, c []byte) []byte {
+	out := make([]byte, 0, 1+6+len(a)+len(b)+len(c))
+	out = append(out, tag)
+	for _, f := range [][]byte{a, b, c} {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(f)))
+		out = append(out, l[:]...)
+		out = append(out, f...)
+	}
+	return out
+}
+
+func decodeHS(b []byte) (tag byte, a, b2, c []byte, err error) {
+	if len(b) < 1 {
+		return 0, nil, nil, nil, ErrBadOnion
+	}
+	tag = b[0]
+	rest := b[1:]
+	fields := make([][]byte, 0, 3)
+	for i := 0; i < 3; i++ {
+		if len(rest) < 2 {
+			return 0, nil, nil, nil, ErrBadOnion
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return 0, nil, nil, nil, ErrBadOnion
+		}
+		fields = append(fields, rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, nil, nil, ErrBadOnion
+	}
+	return tag, fields[0], fields[1], fields[2], nil
+}
+
+func errOr(err error) error {
+	if err != nil {
+		return err
+	}
+	return ErrBadOnion
+}

@@ -1,0 +1,83 @@
+package pkc
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"io"
+	"sync"
+)
+
+// NonceSize is the byte length of hiREP protocol nonces ("nounce" in the
+// paper). Nonces bind a trust-value response to its request and defend the
+// relay handshake against replay (§3.3, §3.5).
+const NonceSize = 16
+
+// Nonce is a random value echoed in a response to match it to a request.
+type Nonce [NonceSize]byte
+
+// NewNonce draws a nonce from r (crypto/rand.Reader when r is nil).
+func NewNonce(r io.Reader) (Nonce, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	var n Nonce
+	_, err := io.ReadFull(r, n[:])
+	return n, err
+}
+
+// Uint64 folds the nonce to 8 bytes, for compact logging.
+func (n Nonce) Uint64() uint64 { return binary.LittleEndian.Uint64(n[:8]) }
+
+// ReplayCache remembers recently seen nonces so a replayed handshake or
+// report is rejected. It holds at most cap entries, evicting the oldest
+// (FIFO) — matching the paper's assumption that replays arrive close to the
+// original. The zero value is unusable; use NewReplayCache.
+type ReplayCache struct {
+	mu    sync.Mutex
+	cap   int
+	seen  map[Nonce]struct{}
+	order []Nonce
+	head  int
+}
+
+// NewReplayCache returns a cache bounded to capacity entries (minimum 1).
+func NewReplayCache(capacity int) *ReplayCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReplayCache{
+		cap:   capacity,
+		seen:  make(map[Nonce]struct{}, capacity),
+		order: make([]Nonce, 0, capacity),
+	}
+}
+
+// Observe records n. It returns false if n was already present — i.e. the
+// message is a replay — and true if n is fresh. Safe for concurrent use.
+func (c *ReplayCache) Observe(n Nonce) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.seen[n]; dup {
+		return false
+	}
+	if len(c.order)-c.head >= c.cap {
+		old := c.order[c.head]
+		delete(c.seen, old)
+		c.head++
+		// Compact the ring occasionally so the slice doesn't grow unbounded.
+		if c.head > c.cap {
+			c.order = append(c.order[:0], c.order[c.head:]...)
+			c.head = 0
+		}
+	}
+	c.seen[n] = struct{}{}
+	c.order = append(c.order, n)
+	return true
+}
+
+// Len returns the number of nonces currently remembered.
+func (c *ReplayCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}

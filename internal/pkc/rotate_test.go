@@ -1,0 +1,128 @@
+package pkc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRotateProducesValidUpdate(t *testing.T) {
+	old := mustIdentity(t)
+	next, wire, err := old.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID == old.ID {
+		t.Fatal("rotation kept the same nodeID")
+	}
+	upd, err := VerifyKeyUpdate(old.Sign.Public, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.OldID != old.ID || upd.NewID != next.ID {
+		t.Fatalf("succession ids wrong: %+v", upd)
+	}
+	if !VerifyBinding(upd.NewID, upd.NewSP) {
+		t.Fatal("new ID does not bind to new SP")
+	}
+	// The new identity can sign and the update's SP verifies it.
+	msg := []byte("post-rotation message")
+	if !Verify(upd.NewSP, msg, next.SignMessage(msg)) {
+		t.Fatal("new key unusable")
+	}
+}
+
+func TestVerifyKeyUpdateWrongOldKey(t *testing.T) {
+	old := mustIdentity(t)
+	_, wire, err := old.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranger := mustIdentity(t)
+	if _, err := VerifyKeyUpdate(stranger.Sign.Public, wire); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("update verified under wrong predecessor key: %v", err)
+	}
+}
+
+func TestVerifyKeyUpdateForged(t *testing.T) {
+	// Attacker tries to hijack victim's identity: signs an update claiming
+	// victim.ID as predecessor, but with the attacker's key.
+	victim, attacker := mustIdentity(t), mustIdentity(t)
+	next := mustIdentity(t)
+	body := encodeKeyUpdate(victim.ID, next.Sign.Public, next.Anon.Public.Bytes())
+	sig := attacker.SignMessage(body)
+	wire := append(body, sig...)
+	if _, err := VerifyKeyUpdate(victim.Sign.Public, wire); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("hijack update accepted: %v", err)
+	}
+}
+
+func TestVerifyKeyUpdateTampered(t *testing.T) {
+	old := mustIdentity(t)
+	_, wire, _ := old.Rotate(nil)
+	for _, i := range []int{0, 25, 60, len(wire) - 1} {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0x01
+		if _, err := VerifyKeyUpdate(old.Sign.Public, mut); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyKeyUpdateTruncated(t *testing.T) {
+	old := mustIdentity(t)
+	_, wire, _ := old.Rotate(nil)
+	for _, n := range []int{0, 10, 50, len(wire) - 1} {
+		if _, err := VerifyKeyUpdate(old.Sign.Public, wire[:n]); !errors.Is(err, ErrBadUpdate) {
+			t.Fatalf("truncated update of %d bytes: %v", n, err)
+		}
+	}
+}
+
+func TestPeekKeyUpdateOldID(t *testing.T) {
+	old := mustIdentity(t)
+	_, wire, _ := old.Rotate(nil)
+	got, err := PeekKeyUpdateOldID(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != old.ID {
+		t.Fatal("peeked wrong ID")
+	}
+	if _, err := PeekKeyUpdateOldID([]byte("garbage")); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("garbage peeked: %v", err)
+	}
+	// Wrong magic.
+	bad := append([]byte(nil), wire...)
+	bad[0] ^= 1
+	if _, err := PeekKeyUpdateOldID(bad); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("bad magic peeked: %v", err)
+	}
+}
+
+func TestRotationChain(t *testing.T) {
+	// A -> B -> C: each update verifies against its direct predecessor.
+	a := mustIdentity(t)
+	b, wireAB, err := a.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, wireBC, err := b.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := VerifyKeyUpdate(a.Sign.Public, wireAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := VerifyKeyUpdate(ab.NewSP, wireBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.NewID != c.ID {
+		t.Fatal("chain did not reach C")
+	}
+	// The B->C update must NOT verify against A's key.
+	if _, err := VerifyKeyUpdate(a.Sign.Public, wireBC); err == nil {
+		t.Fatal("skip-level verification accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package pkc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Seal encrypts plaintext to the anonymity public key ap so that only the
+// holder of the matching private key can read it. It is the "AP_x( ... )"
+// operation the paper uses for onion layers and relay handshakes.
+//
+// Construction: an ephemeral X25519 key agrees a shared secret with ap; the
+// SHA-256 of the shared secret keys AES-256-GCM. Output layout:
+//
+//	ephemeral public key (32) || GCM nonce (12) || ciphertext+tag
+func Seal(ap *ecdh.PublicKey, plaintext []byte, r io.Reader) ([]byte, error) {
+	if ap == nil {
+		return nil, ErrBadKey
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	eph, err := ecdh.X25519().GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("pkc: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(ap)
+	if err != nil {
+		return nil, fmt.Errorf("pkc: ecdh: %w", err)
+	}
+	aead, err := newAEAD(shared)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(r, nonce); err != nil {
+		return nil, fmt.Errorf("pkc: nonce: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	out := make([]byte, 0, len(ephPub)+len(nonce)+len(plaintext)+aead.Overhead())
+	out = append(out, ephPub...)
+	out = append(out, nonce...)
+	out = aead.Seal(out, nonce, plaintext, ephPub)
+	return out, nil
+}
+
+// Open decrypts a Seal output with the anonymity private key in kp.
+func (kp AnonKeyPair) Open(box []byte) ([]byte, error) {
+	if kp.private == nil {
+		return nil, ErrBadKey
+	}
+	const ephLen = 32
+	aeadProbe, _ := newAEAD(make([]byte, 32))
+	nonceLen := aeadProbe.NonceSize()
+	if len(box) < ephLen+nonceLen+aeadProbe.Overhead() {
+		return nil, ErrBadCiphertext
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(box[:ephLen])
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	shared, err := kp.private.ECDH(ephPub)
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	aead, err := newAEAD(shared)
+	if err != nil {
+		return nil, err
+	}
+	nonce := box[ephLen : ephLen+nonceLen]
+	plain, err := aead.Open(nil, nonce, box[ephLen+nonceLen:], box[:ephLen])
+	if err != nil {
+		return nil, ErrBadCiphertext
+	}
+	return plain, nil
+}
+
+// SealOverhead is the number of bytes Seal adds to a plaintext.
+func SealOverhead() int {
+	aead, _ := newAEAD(make([]byte, 32))
+	return 32 + aead.NonceSize() + aead.Overhead()
+}
+
+func newAEAD(shared []byte) (cipher.AEAD, error) {
+	key := sha256.Sum256(shared)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("pkc: aes: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("pkc: gcm: %w", err)
+	}
+	return aead, nil
+}

@@ -1,0 +1,146 @@
+package rca
+
+import (
+	"math"
+	"testing"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+	"hirep/internal/xrand"
+)
+
+func buildSystem(t testing.TB, n int, seed int64) *System {
+	t.Helper()
+	rng := xrand.New(seed)
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: n, AvgDegree: 4}, rng.Split("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := trust.NewOracle(n, 0.5, rng.Split("oracle"))
+	sys, err := NewSystem(net, oracle, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{CandidatesPerTx: 0, Rating: trust.DefaultRatingModel()}
+	if bad.Validate() == nil {
+		t.Fatal("zero candidates accepted")
+	}
+	rng := xrand.New(1)
+	g, _ := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 20, AvgDegree: 4}, rng)
+	net, _ := simnet.New(g, simnet.DefaultConfig(1))
+	cfg := DefaultConfig()
+	cfg.Server = 99
+	if _, err := NewSystem(net, trust.NewOracle(20, 0.5, rng), cfg, rng); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+}
+
+func TestCentralizedCostIsConstant(t *testing.T) {
+	sys := buildSystem(t, 200, 1)
+	for i := 0; i < 10; i++ {
+		req := topology.NodeID(5 + i)
+		res := sys.RunTransaction(req, sys.PickCandidates(req))
+		// Exactly three unicasts: query, response, report.
+		if res.TrustMessages != 3 {
+			t.Fatalf("tx %d cost %d messages, want 3", i, res.TrustMessages)
+		}
+		if res.ResponseTime <= 0 {
+			t.Fatal("no response time")
+		}
+	}
+}
+
+func TestServerLearnsFromReports(t *testing.T) {
+	sys := buildSystem(t, 150, 2)
+	// Pick a fixed untrustworthy candidate and hammer it.
+	var bad topology.NodeID = -1
+	for i := 1; i < 150; i++ {
+		if !sys.oracle.Trustworthy(i) {
+			bad = topology.NodeID(i)
+			break
+		}
+	}
+	if bad < 0 {
+		t.Skip("no untrustworthy node")
+	}
+	for i := 0; i < 5; i++ {
+		sys.RunTransaction(0, []topology.NodeID{bad})
+	}
+	res := sys.RunTransaction(0, []topology.NodeID{bad})
+	if res.Estimates[0] > 0.3 {
+		t.Fatalf("server did not learn: estimate %v for a bad provider after 5 reports", res.Estimates[0])
+	}
+}
+
+func TestSinglePointOfFailure(t *testing.T) {
+	sys := buildSystem(t, 150, 3)
+	res := sys.RunTransaction(4, sys.PickCandidates(4))
+	if math.IsNaN(float64(res.Estimates[0])) {
+		t.Fatal("live server did not answer")
+	}
+	sys.KillServer()
+	res = sys.RunTransaction(4, sys.PickCandidates(4))
+	for _, e := range res.Estimates {
+		if !math.IsNaN(float64(e)) {
+			t.Fatal("dead RCA still produced estimates — no single point of failure?")
+		}
+	}
+}
+
+func TestServerQueueingBottleneck(t *testing.T) {
+	// The §3.1 bottleneck claim: response time through the central server
+	// grows once many peers converge on it, because every message serializes
+	// through one node. Compare a server with tiny vs large processing cost.
+	responseAt := func(proc simnet.Time) simnet.Time {
+		rng := xrand.New(7)
+		g, _ := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 200, AvgDegree: 4}, rng.Split("topo"))
+		cfg := simnet.DefaultConfig(7)
+		cfg.ProcPerMsg = proc
+		net, _ := simnet.New(g, cfg)
+		oracle := trust.NewOracle(200, 0.5, rng.Split("oracle"))
+		sys, err := NewSystem(net, oracle, DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total simnet.Time
+		for i := 0; i < 30; i++ {
+			req := topology.NodeID(1 + i)
+			total += sys.RunTransaction(req, sys.PickCandidates(req)).ResponseTime
+		}
+		return total
+	}
+	fast, slow := responseAt(0.1), responseAt(10)
+	if slow <= fast {
+		t.Fatalf("server processing cost invisible in response time: %v vs %v", fast, slow)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []TxResult {
+		sys := buildSystem(t, 120, 11)
+		out := make([]TxResult, 5)
+		for i := range out {
+			req := topology.NodeID(3 + i)
+			out[i] = sys.RunTransaction(req, sys.PickCandidates(req))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Chosen != b[i].Chosen || a[i].ResponseTime != b[i].ResponseTime {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

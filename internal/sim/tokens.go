@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"hirep/internal/core"
+	"hirep/internal/stats"
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+// Tokens sweeps the agent-list request token budget (Table 1's "token
+// number") and reports what the budget buys: bootstrap traffic against
+// trusted-agent list coverage. The §3.4.1 walk consumes one token per
+// answering node, so the budget directly bounds both the walk's cost and how
+// many candidate recommendations a peer can collect.
+func Tokens(p Params) (ExpResult, error) {
+	if err := p.Validate(); err != nil {
+		return ExpResult{}, err
+	}
+	table := stats.NewTable("Token budget vs list coverage (§3.4.1 walk)",
+		"tokens", "bootstrap msgs/peer", "avg list size", "full lists %", "honest in lists %")
+	var notes []string
+	for _, tokens := range []int{3, 5, 10, 20, 40} {
+		var msgsAcc, sizeAcc, fullAcc, honestAcc stats.Accum
+		err := forEachReplica(p.Replicas, p.workers(), func(rep int) error {
+			seed := replicaSeed(p.Seed, fmt.Sprintf("tokens-%d", tokens), rep)
+			w, err := buildWorld(p, topology.PowerLaw, p.AvgDegree, seed)
+			if err != nil {
+				return err
+			}
+			cfg := p.Hirep
+			cfg.Tokens = tokens
+			sys, err := core.NewSystem(w.Net, w.Oracle, cfg, xrand.New(seed))
+			if err != nil {
+				return err
+			}
+			maint := sys.Bootstrap()
+			msgsAcc.Add(float64(maint) / float64(p.NetworkSize))
+			full, honest, total := 0, 0, 0
+			for i := 0; i < p.NetworkSize; i++ {
+				agents := sys.TrustedAgentsOf(topology.NodeID(i))
+				sizeAcc.Add(float64(len(agents)))
+				if len(agents) == cfg.TrustedAgents {
+					full++
+				}
+				for _, a := range agents {
+					total++
+					if sys.IsHonestAgent(a) {
+						honest++
+					}
+				}
+			}
+			fullAcc.Add(100 * float64(full) / float64(p.NetworkSize))
+			if total > 0 {
+				honestAcc.Add(100 * float64(honest) / float64(total))
+			}
+			return nil
+		})
+		if err != nil {
+			return ExpResult{}, err
+		}
+		table.AddRow(tokens, msgsAcc.Mean(), sizeAcc.Mean(), fullAcc.Mean(), honestAcc.Mean())
+		notes = append(notes, fmt.Sprintf("tokens=%d: %.1f msgs/peer, %.1f agents/list",
+			tokens, msgsAcc.Mean(), sizeAcc.Mean()))
+	}
+	return ExpResult{Name: "tokens", Table: table, Notes: notes}, nil
+}

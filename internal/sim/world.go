@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+	"hirep/internal/xrand"
+)
+
+// TxSpec is one workload unit: who transacts and which provider candidates
+// they evaluate. Both systems replay the same specs for a fair comparison.
+type TxSpec struct {
+	Requestor  topology.NodeID
+	Candidates []topology.NodeID
+}
+
+// World is one replica's substrate: a topology, a fresh simulator over it,
+// ground truth, and the workload population.
+type World struct {
+	Graph      *topology.Graph
+	Net        *simnet.Network
+	Oracle     *trust.Oracle
+	Requestors []topology.NodeID
+	Providers  []topology.NodeID
+	rng        *xrand.RNG
+}
+
+// buildWorld constructs a replica world. Worlds with equal (params, model,
+// degree, seed) are identical; each protocol under test gets its own world so
+// handlers do not clash, but shares the graph/oracle/workload realization.
+func buildWorld(p Params, model topology.Model, degree int, seed int64) (*World, error) {
+	rng := xrand.New(seed)
+	g, err := topology.Generate(topology.GenSpec{Model: model, N: p.NetworkSize, AvgDegree: degree}, rng.Split("topo"))
+	if err != nil {
+		return nil, err
+	}
+	netCfg := p.Net
+	netCfg.Seed = seed
+	if netCfg.LatencyMax == 0 {
+		netCfg = simnet.DefaultConfig(seed)
+	}
+	net, err := simnet.New(g, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	oracle := trust.NewOracle(p.NetworkSize, p.TrustworthyFrac, rng.Split("oracle"))
+	w := &World{Graph: g, Net: net, Oracle: oracle, rng: rng}
+	pop := rng.Split("population")
+	for _, idx := range pop.Choose(p.NetworkSize, p.ActiveRequestors) {
+		w.Requestors = append(w.Requestors, topology.NodeID(idx))
+	}
+	for _, idx := range pop.Choose(p.NetworkSize, p.ProviderPool) {
+		w.Providers = append(w.Providers, topology.NodeID(idx))
+	}
+	return w, nil
+}
+
+// Workload derives the deterministic transaction sequence for this world.
+func (w *World) Workload(txns, candidatesPerTx int) []TxSpec {
+	rng := w.rng.Split("workload")
+	specs := make([]TxSpec, txns)
+	for t := range specs {
+		req := w.Requestors[rng.Intn(len(w.Requestors))]
+		cands := make([]topology.NodeID, 0, candidatesPerTx)
+		for _, idx := range rng.Choose(len(w.Providers), candidatesPerTx+1) {
+			c := w.Providers[idx]
+			if c == req {
+				continue
+			}
+			cands = append(cands, c)
+			if len(cands) == candidatesPerTx {
+				break
+			}
+		}
+		specs[t] = TxSpec{Requestor: req, Candidates: cands}
+	}
+	return specs
+}
+
+// replicaSeed derives the seed of replica rep for an experiment label.
+func replicaSeed(base int64, label string, rep int) int64 {
+	return xrand.New(base).Split(label).SplitN("replica", rep).Seed()
+}
+
+// forEachReplica runs fn for every replica index with bounded parallelism
+// and returns the first error.
+func forEachReplica(replicas, workers int, fn func(rep int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > replicas {
+		workers = replicas
+	}
+	sem := make(chan struct{}, workers)
+	errc := make(chan error, replicas)
+	var wg sync.WaitGroup
+	for rep := 0; rep < replicas; rep++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(rep int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(rep); err != nil {
+				errc <- fmt.Errorf("replica %d: %w", rep, err)
+			}
+		}(rep)
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}

@@ -1,0 +1,323 @@
+// Package simnet is the discrete-event network simulator under hiREP and its
+// baselines.
+//
+// The simulator owns virtual time and message delivery; protocols own node
+// state machines. A message sent at time t from node a to node b is delivered
+// at
+//
+//	max(t + latency(a,b), busyUntil(b)) + procPerMsg
+//
+// where latency(a,b) is a stable per-pair propagation delay and busyUntil(b)
+// models the receiver's serial message processing. The queueing term is what
+// makes flooding-based polling slow under load (Figure 8): a flood makes
+// every node process hundreds of messages, so responses queue behind the
+// flood itself, while hiREP's O(c) unicasts see idle receivers.
+//
+// Message counts per kind are tracked for the traffic-cost experiments
+// (Figure 5). Counting is by point-to-point message, matching the paper's
+// metric ("messages induced in the trust query process", §5.1).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+// Time is virtual time in milliseconds.
+type Time float64
+
+// Config parameterizes the delivery model.
+type Config struct {
+	// LatencyMin/LatencyMax bound the per-pair propagation delay (ms).
+	LatencyMin, LatencyMax Time
+	// ProcPerMsg is the receiver's per-message processing time (ms); it is
+	// the source of queueing delay under floods.
+	ProcPerMsg Time
+	// LossProb drops each message independently with this probability
+	// (counted as sent — it left the sender — but never delivered).
+	LossProb float64
+	// Seed stabilizes the per-pair latency function and the loss draws.
+	Seed int64
+}
+
+// DefaultConfig returns the delivery model used by the experiments: 20–60 ms
+// one-way latency and 0.2 ms per-message processing.
+func DefaultConfig(seed int64) Config {
+	return Config{LatencyMin: 20, LatencyMax: 60, ProcPerMsg: 0.2, Seed: seed}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LatencyMin < 0 || c.LatencyMax < c.LatencyMin {
+		return fmt.Errorf("simnet: bad latency range [%v,%v]", c.LatencyMin, c.LatencyMax)
+	}
+	if c.ProcPerMsg < 0 {
+		return fmt.Errorf("simnet: negative processing time %v", c.ProcPerMsg)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("simnet: LossProb %v out of [0,1)", c.LossProb)
+	}
+	return nil
+}
+
+// Message is a point-to-point message in flight.
+type Message struct {
+	Kind    string          // taxonomy label, e.g. "trust-query" — drives counters
+	From    topology.NodeID // sender
+	To      topology.NodeID // receiver
+	Payload any             // protocol-defined content
+	SentAt  Time            // when the sender issued it
+}
+
+// Handler processes a delivered message at its receiving node.
+type Handler func(net *Network, msg Message)
+
+// Tracer observes every message delivery (see internal/trace for a ring
+// implementation). Tracing happens at delivery time, so At is the virtual
+// delivery instant.
+type Tracer interface {
+	Record(at float64, kind string, from, to int)
+}
+
+// event is one scheduled occurrence.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so same-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+func (h eventHeap) Peek() *event { return h[0] }
+
+// Network is a discrete-event simulation instance. Not safe for concurrent
+// use: one Network per goroutine (experiments parallelize across replicas).
+type Network struct {
+	graph     *topology.Graph
+	cfg       Config
+	now       Time
+	seq       uint64
+	pq        eventHeap
+	handlers  []Handler
+	busyUntil []Time
+	counts    map[string]int64
+	bytes     map[string]int64
+	total     int64
+	totalB    int64
+	delivered int64
+	dropped   int64
+	running   bool
+	tracer    Tracer
+	lossRNG   *xrand.RNG
+}
+
+// New creates a simulator over graph g.
+func New(g *topology.Graph, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		graph:     g,
+		cfg:       cfg,
+		handlers:  make([]Handler, g.N()),
+		busyUntil: make([]Time, g.N()),
+		counts:    make(map[string]int64),
+		bytes:     make(map[string]int64),
+	}
+	if cfg.LossProb > 0 {
+		n.lossRNG = xrand.New(cfg.Seed).Split("loss")
+	}
+	return n, nil
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Now returns current virtual time.
+func (n *Network) Now() Time { return n.now }
+
+// SetHandler installs node's message handler. A nil handler drops messages.
+func (n *Network) SetHandler(node topology.NodeID, h Handler) { n.handlers[node] = h }
+
+// Latency returns the stable propagation delay between a and b. It is
+// symmetric and deterministic in (Seed, {a,b}).
+func (n *Network) Latency(a, b topology.NodeID) Time {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put64(0, uint64(n.cfg.Seed))
+	put64(8, uint64(a))
+	put64(16, uint64(b))
+	h.Write(buf[:])
+	u := float64(h.Sum64()) / float64(math.MaxUint64)
+	return n.cfg.LatencyMin + Time(u)*(n.cfg.LatencyMax-n.cfg.LatencyMin)
+}
+
+// Send schedules delivery of a message and counts it under its kind with no
+// byte accounting (size 0).
+func (n *Network) Send(from, to topology.NodeID, kind string, payload any) {
+	n.SendBytes(from, to, kind, payload, 0)
+}
+
+// SendBytes schedules delivery of a message of the given wire size, counting
+// both the message and its bytes under kind. Protocols that model traffic
+// volume (the bytes view of Figure 5) pass their estimated wire sizes here.
+func (n *Network) SendBytes(from, to topology.NodeID, kind string, payload any, size int) {
+	if to < 0 || int(to) >= n.graph.N() {
+		panic(fmt.Sprintf("simnet: send to out-of-range node %d", to))
+	}
+	if size < 0 {
+		panic("simnet: negative message size")
+	}
+	n.counts[kind]++
+	n.total++
+	n.bytes[kind] += int64(size)
+	n.totalB += int64(size)
+	if n.lossRNG != nil && n.lossRNG.Bool(n.cfg.LossProb) {
+		n.dropped++
+		return // transmitted but lost in the network
+	}
+	arrival := n.now + n.Latency(from, to)
+	// Serial processing at the receiver: the message begins service when the
+	// receiver is free, and occupies it for ProcPerMsg.
+	start := arrival
+	if n.busyUntil[to] > start {
+		start = n.busyUntil[to]
+	}
+	done := start + n.cfg.ProcPerMsg
+	n.busyUntil[to] = done
+	msg := Message{Kind: kind, From: from, To: to, Payload: payload, SentAt: n.now}
+	n.schedule(done, func() {
+		n.delivered++
+		if n.tracer != nil {
+			n.tracer.Record(float64(n.now), kind, int(from), int(to))
+		}
+		if h := n.handlers[to]; h != nil {
+			h(n, msg)
+		}
+	})
+}
+
+// After schedules fn to run d after the current time.
+func (n *Network) After(d Time, fn func()) {
+	if d < 0 {
+		panic("simnet: negative delay")
+	}
+	n.schedule(n.now+d, fn)
+}
+
+// At schedules fn at absolute time t (>= now).
+func (n *Network) At(t Time, fn func()) {
+	if t < n.now {
+		panic(fmt.Sprintf("simnet: schedule in the past: %v < %v", t, n.now))
+	}
+	n.schedule(t, fn)
+}
+
+func (n *Network) schedule(t Time, fn func()) {
+	n.seq++
+	heap.Push(&n.pq, &event{at: t, seq: n.seq, fn: fn})
+}
+
+// Run processes events until none remain, or until maxEvents events have run
+// when maxEvents > 0 (a runaway guard). It returns the number processed.
+func (n *Network) Run(maxEvents int) int {
+	if n.running {
+		panic("simnet: Run re-entered")
+	}
+	n.running = true
+	defer func() { n.running = false }()
+	processed := 0
+	for n.pq.Len() > 0 {
+		if maxEvents > 0 && processed >= maxEvents {
+			break
+		}
+		ev := heap.Pop(&n.pq).(*event)
+		if ev.at < n.now {
+			panic("simnet: time went backwards")
+		}
+		n.now = ev.at
+		ev.fn()
+		processed++
+	}
+	return processed
+}
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (n *Network) Pending() int { return n.pq.Len() }
+
+// Counts returns a copy of the per-kind message counters.
+func (n *Network) Counts() map[string]int64 {
+	out := make(map[string]int64, len(n.counts))
+	for k, v := range n.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Count returns the counter for one kind.
+func (n *Network) Count(kind string) int64 { return n.counts[kind] }
+
+// Bytes returns the byte counter for one kind (0 unless senders used
+// SendBytes).
+func (n *Network) Bytes(kind string) int64 { return n.bytes[kind] }
+
+// TotalBytes returns the bytes sent since the last reset.
+func (n *Network) TotalBytes() int64 { return n.totalB }
+
+// TotalMessages returns the number of messages sent since the last reset.
+func (n *Network) TotalMessages() int64 { return n.total }
+
+// Dropped returns the number of messages lost to the loss model.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// Delivered returns the number of messages actually handled so far.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// ResetCounters zeroes message counters (not time or queues); experiments
+// call it between warm-up and measurement phases.
+func (n *Network) ResetCounters() {
+	n.counts = make(map[string]int64)
+	n.bytes = make(map[string]int64)
+	n.total = 0
+	n.totalB = 0
+	n.delivered = 0
+}
+
+// SetTracer installs a delivery tracer (nil disables tracing).
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// RNGFor derives a deterministic per-node RNG from the network seed; protocol
+// implementations use it so node behaviour is stable across runs.
+func (n *Network) RNGFor(label string, node topology.NodeID) *xrand.RNG {
+	return xrand.New(n.cfg.Seed).Split(label).SplitN("node", int(node))
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders series as an ASCII chart — enough to eyeball the shape of a
+// regenerated figure in a terminal without external tooling. All series share
+// the x axis; each gets a distinct glyph. Points are nearest-cell plotted;
+// collisions show the later series' glyph.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	series []*Series
+}
+
+// plotGlyphs assigns series marks in order.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewPlot creates a plot for the given series.
+func NewPlot(title, xLabel, yLabel string, series ...*Series) *Plot {
+	return &Plot{Title: title, XLabel: xLabel, YLabel: yLabel, series: series}
+}
+
+// Render writes the chart to w.
+func (p *Plot) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	// Bounds over all series.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	type pt struct{ x, y float64 }
+	pts := make([][]pt, len(p.series))
+	for i, s := range p.series {
+		xs, ys := s.Points()
+		for j := range xs {
+			pts[i] = append(pts[i], pt{xs[j], ys[j]})
+			xmin, xmax = math.Min(xmin, xs[j]), math.Max(xmax, xs[j])
+			ymin, ymax = math.Min(ymin, ys[j]), math.Max(ymax, ys[j])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		fmt.Fprintf(w, "%s\n(no data)\n", p.Title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Grid.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, track := range pts {
+		glyph := plotGlyphs[i%len(plotGlyphs)]
+		for _, q := range track {
+			col := int(math.Round((q.x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((q.y - ymin) / (ymax - ymin) * float64(height-1)))
+			grid[height-1-row][col] = glyph
+		}
+	}
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xl := fmt.Sprintf("%.3g", xmin)
+	xr := fmt.Sprintf("%.3g", xmax)
+	gap := width - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s  (%s)\n", strings.Repeat(" ", labelW), xl, strings.Repeat(" ", gap), xr, p.XLabel)
+	// Legend.
+	var legend []string
+	for i, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[i%len(plotGlyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s  [%s]\n", strings.Repeat(" ", labelW), p.YLabel, strings.Join(legend, " "))
+}

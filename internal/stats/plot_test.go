@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	a := NewSeries("rising")
+	b := NewSeries("flat")
+	for x := 0; x < 10; x++ {
+		a.Observe(float64(x), float64(x))
+		b.Observe(float64(x), 5)
+	}
+	var buf bytes.Buffer
+	NewPlot("demo", "tx", "mse", a, b).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "*=rising", "o=flat", "(tx)", "mse"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series must place glyphs at both extremes.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") { // top row holds the max
+		t.Fatalf("max value not at top:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	NewPlot("empty", "x", "y", NewSeries("none")).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty plot output: %s", buf.String())
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	s := NewSeries("dot")
+	s.Observe(3, 7)
+	var buf bytes.Buffer
+	NewPlot("one", "x", "y", s).Render(&buf)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	s := NewSeries("s")
+	s.Observe(0, 0.01)
+	s.Observe(100, 0.5)
+	var buf bytes.Buffer
+	NewPlot("ax", "transactions", "MSE", s).Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "0.5") || !strings.Contains(out, "0.01") {
+		t.Fatalf("y bounds missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100") {
+		t.Fatalf("x bound missing:\n%s", out)
+	}
+}
+
+func TestPlotCustomSize(t *testing.T) {
+	s := NewSeries("s")
+	for x := 0; x < 5; x++ {
+		s.Observe(float64(x), float64(x))
+	}
+	p := NewPlot("sized", "x", "y", s)
+	p.Width, p.Height = 20, 5
+	var buf bytes.Buffer
+	p.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// title + 5 rows + axis + xlabels + legend = 9 lines
+	if len(lines) != 9 {
+		t.Fatalf("expected 9 lines for height 5, got %d:\n%s", len(lines), buf.String())
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects observations for quantile estimation. For the experiment
+// sizes in this repository (thousands of points) exact storage is cheaper
+// and simpler than a sketch.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// between order statistics. It returns NaN on an empty sample and panics on
+// q outside [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min and Max return the sample extremes (NaN when empty).
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation (NaN when empty).
+func (s *Sample) Max() float64 { return s.Quantile(1) }

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("min %v", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Fatalf("max %v", got)
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("median %v", got)
+	}
+	// Interpolation: q=0.25 over [1..5] -> position 1.0 -> exactly 2.
+	if got := s.Quantile(0.25); got != 2 {
+		t.Fatalf("q25 %v", got)
+	}
+	if got := s.Quantile(0.125); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("q12.5 %v want 1.5", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty sample should yield NaN")
+	}
+	if s.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%v did not panic", q)
+				}
+			}()
+			s.Quantile(q)
+		}()
+	}
+}
+
+func TestQuantileAfterMoreAdds(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Quantile(0.5) // forces a sort
+	s.Add(1)            // must invalidate the sorted flag
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("min after re-add: %v", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64((i * 37) % 100))
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %v", q)
+		}
+		prev = v
+	}
+}
+
+func TestSampleMean(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 6} {
+		s.Add(x)
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	var s Sample
+	for i := 0; i < 10000; i++ {
+		s.Add(float64((i * 31) % 9973))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i))
+		_ = s.Quantile(0.99)
+	}
+}

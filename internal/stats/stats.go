@@ -1,0 +1,230 @@
+// Package stats provides the small statistics and rendering toolkit used by
+// the experiment harness: streaming accumulators, replica-averaged series,
+// and aligned-table / CSV output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accum is a streaming mean/variance accumulator (Welford's algorithm).
+type Accum struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (a *Accum) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the observation count.
+func (a *Accum) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accum) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (0 when n < 2).
+func (a *Accum) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Accum) Std() float64 { return math.Sqrt(a.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accum) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Series is a sequence of per-x accumulators, e.g. MSE per transaction index
+// averaged over replicas.
+type Series struct {
+	Name string
+	xs   []float64
+	acc  []*Accum
+	idx  map[float64]int
+}
+
+// NewSeries creates an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, idx: make(map[float64]int)}
+}
+
+// Observe folds one (x, y) observation in; repeated x values average.
+func (s *Series) Observe(x, y float64) {
+	i, ok := s.idx[x]
+	if !ok {
+		i = len(s.xs)
+		s.idx[x] = i
+		s.xs = append(s.xs, x)
+		s.acc = append(s.acc, &Accum{})
+	}
+	s.acc[i].Add(y)
+}
+
+// Points returns the series as (x, mean y) pairs in ascending x order.
+func (s *Series) Points() (xs, ys []float64) {
+	order := make([]int, len(s.xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.xs[order[a]] < s.xs[order[b]] })
+	xs = make([]float64, len(order))
+	ys = make([]float64, len(order))
+	for j, i := range order {
+		xs[j] = s.xs[i]
+		ys[j] = s.acc[i].Mean()
+	}
+	return xs, ys
+}
+
+// At returns the mean value at x and whether x was observed.
+func (s *Series) At(x float64) (float64, bool) {
+	if i, ok := s.idx[x]; ok {
+		return s.acc[i].Mean(), true
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct x values.
+func (s *Series) Len() int { return len(s.xs) }
+
+// Table renders named columns of numbers as an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v and floats with %.4g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// RenderCSV writes the table as CSV (RFC-4180-style quoting for commas).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		fmt.Fprintf(w, "%s\n", strings.Join(out, ","))
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SeriesTable renders several series sharing an x axis into one table; series
+// missing a given x render as empty cells.
+func SeriesTable(title, xName string, series ...*Series) *Table {
+	headers := append([]string{xName}, make([]string, len(series))...)
+	for i, s := range series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(title, headers...)
+	xset := map[float64]bool{}
+	for _, s := range series {
+		xs, _ := s.Points()
+		for _, x := range xs {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, x)
+		for _, s := range series {
+			if y, ok := s.At(x); ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumMeanVar(t *testing.T) {
+	var a Accum
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N=%d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", a.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(a.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var %v", a.Var())
+	}
+}
+
+func TestAccumEmpty(t *testing.T) {
+	var a Accum
+	if a.Mean() != 0 || a.Var() != 0 || a.Std() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+}
+
+func TestAccumSingle(t *testing.T) {
+	var a Accum
+	a.Add(3)
+	if a.Mean() != 3 || a.Var() != 0 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestAccumMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Accum
+		sum := 0.0
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		return math.Abs(a.Mean()-mean) < 1e-6 && math.Abs(a.Var()-naiveVar) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesAveraging(t *testing.T) {
+	s := NewSeries("mse")
+	s.Observe(1, 0.2)
+	s.Observe(1, 0.4)
+	s.Observe(2, 0.1)
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	v, ok := s.At(1)
+	if !ok || math.Abs(v-0.3) > 1e-12 {
+		t.Fatalf("At(1)=%v", v)
+	}
+	xs, ys := s.Points()
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 || ys[1] != 0.1 {
+		t.Fatalf("points %v %v", xs, ys)
+	}
+}
+
+func TestSeriesPointsSorted(t *testing.T) {
+	s := NewSeries("x")
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(x, x*10)
+	}
+	xs, ys := s.Points()
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("unsorted xs: %v", xs)
+		}
+	}
+	for i, x := range xs {
+		if ys[i] != x*10 {
+			t.Fatalf("y misaligned at %d", i)
+		}
+	}
+}
+
+func TestSeriesAtMissing(t *testing.T) {
+	s := NewSeries("x")
+	if _, ok := s.At(5); ok {
+		t.Fatal("missing x found")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "a", "bee", "c")
+	tb.AddRow(1, 2.5, "x")
+	tb.AddRow(100, 0.333333, "yy")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bee") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "0.3333") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "name", "v")
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", 2)
+	tb.AddRow("with\"quote", 3)
+	var buf bytes.Buffer
+	tb.RenderCSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "\"with,comma\"") {
+		t.Fatalf("comma not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "\"with\"\"quote\"") {
+		t.Fatalf("quote not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,v\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestSeriesTableMergesAxes(t *testing.T) {
+	a := NewSeries("a")
+	a.Observe(1, 10)
+	a.Observe(2, 20)
+	b := NewSeries("b")
+	b.Observe(2, 200)
+	b.Observe(3, 300)
+	tb := SeriesTable("merged", "x", a, b)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if tb.NumRows() != 3 {
+		t.Fatalf("expected 3 x-rows:\n%s", out)
+	}
+	if !strings.Contains(out, "300") || !strings.Contains(out, "10") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}

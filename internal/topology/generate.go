@@ -1,0 +1,153 @@
+package topology
+
+import (
+	"fmt"
+
+	"hirep/internal/xrand"
+)
+
+// Model selects a topology generation model.
+type Model int
+
+const (
+	// PowerLaw is Barabási–Albert preferential attachment, the generative
+	// model behind BRITE's power-law router mode used by the paper.
+	PowerLaw Model = iota
+	// FixedAvgDegree is a connected random graph with a target average
+	// degree, used for the Figure 5 degree sweep (voting-2/3/4).
+	FixedAvgDegree
+)
+
+func (m Model) String() string {
+	switch m {
+	case PowerLaw:
+		return "powerlaw"
+	case FixedAvgDegree:
+		return "fixed-avg-degree"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// GenSpec describes a topology to generate.
+type GenSpec struct {
+	Model Model
+	N     int
+	// AvgDegree is the target average degree. For PowerLaw the attachment
+	// parameter m is AvgDegree/2 (each new node brings m edges).
+	AvgDegree int
+}
+
+// Generate builds a topology per spec using rng. The result is always
+// connected and validated.
+func Generate(spec GenSpec, rng *xrand.RNG) (*Graph, error) {
+	if spec.N < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", spec.N)
+	}
+	if spec.AvgDegree < 1 {
+		return nil, fmt.Errorf("topology: average degree must be >= 1, got %d", spec.AvgDegree)
+	}
+	var g *Graph
+	switch spec.Model {
+	case PowerLaw:
+		// Each new node brings AvgDegree/2 edges on average; fractional
+		// attachment (e.g. m=1.5 for average degree 3) is realized by mixing
+		// floor(m) and ceil(m) per node.
+		g = barabasiAlbert(spec.N, float64(spec.AvgDegree)/2, rng)
+	case FixedAvgDegree:
+		g = fixedDegree(spec.N, spec.AvgDegree, rng)
+	default:
+		return nil, fmt.Errorf("topology: unknown model %v", spec.Model)
+	}
+	g.sortAdjacency()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: generated graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// barabasiAlbert grows a graph by preferential attachment: each new node
+// attaches ~m edges (m may be fractional: floor(m) or ceil(m) per node) to
+// existing nodes chosen with probability proportional to their current
+// degree. This yields a power-law degree distribution P(k) ~ k^-3 and a
+// connected graph, matching BRITE's power-law router mode.
+func barabasiAlbert(n int, m float64, rng *xrand.RNG) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	mLo := int(m)
+	frac := m - float64(mLo)
+	g := NewGraph(n)
+	// Seed clique of ceil(m)+1 nodes so early picks have targets.
+	seed := mLo + 2
+	if frac == 0 {
+		seed = mLo + 1
+	}
+	if seed > n {
+		seed = n
+	}
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			_ = g.AddEdge(NodeID(i), NodeID(j)) // cannot duplicate in a clique build
+		}
+	}
+	// repeated holds one entry per edge endpoint; uniform sampling from it is
+	// degree-proportional sampling.
+	var repeated []NodeID
+	for v := 0; v < seed; v++ {
+		for range g.adj[v] {
+			repeated = append(repeated, NodeID(v))
+		}
+	}
+	for v := seed; v < n; v++ {
+		mv := mLo
+		if frac > 0 && rng.Bool(frac) {
+			mv++
+		}
+		seen := make(map[NodeID]bool, mv)
+		var targets []NodeID // slice keeps selection order deterministic
+		for len(targets) < mv && len(targets) < v {
+			t := repeated[rng.Intn(len(repeated))]
+			if !seen[t] {
+				seen[t] = true
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			_ = g.AddEdge(NodeID(v), t) // t is distinct and != v by construction
+			repeated = append(repeated, NodeID(v), t)
+		}
+	}
+	return g
+}
+
+// fixedDegree builds a connected random graph with average degree close to
+// target: first a random spanning path guarantees connectivity, then random
+// extra edges are added until the edge budget N*target/2 is met.
+func fixedDegree(n, target int, rng *xrand.RNG) *Graph {
+	g := NewGraph(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(NodeID(perm[i-1]), NodeID(perm[i]))
+	}
+	want := n * target / 2
+	attempts := 0
+	maxAttempts := want * 50
+	for g.NumEdges() < want && attempts < maxAttempts {
+		attempts++
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		_ = g.AddEdge(a, b)
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

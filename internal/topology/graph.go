@@ -1,0 +1,238 @@
+// Package topology generates and analyzes overlay topologies for the hiREP
+// simulator.
+//
+// The paper generates its P2P network "with power law topology using BRITE"
+// (§5.2). BRITE is a closed, Java-era tool that is unavailable to this
+// offline build; its power-law mode implements Barabási–Albert preferential
+// attachment, which this package reimplements directly (see Generator
+// PowerLaw). A flat random (Erdős–Rényi-style fixed-degree) generator is also
+// provided for the degree-sweep in Figure 5, where "voting-n" denotes a
+// network with average node degree n.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a topology. IDs are dense: 0..N-1.
+type NodeID int
+
+// Graph is an undirected overlay graph with dense node IDs.
+type Graph struct {
+	n   int
+	adj [][]NodeID
+}
+
+// NewGraph returns an empty graph with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("topology: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]NodeID, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Neighbors returns the neighbor list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// HasEdge reports whether an edge {a,b} exists.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	// Scan the shorter list.
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge {a,b}. Self-loops and duplicate edges
+// are rejected with an error.
+func (g *Graph) AddEdge(a, b NodeID) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop at %d", a)
+	}
+	if a < 0 || int(a) >= g.n || b < 0 || int(b) >= g.n {
+		return fmt.Errorf("topology: edge (%d,%d) out of range [0,%d)", a, b, g.n)
+	}
+	if g.HasEdge(a, b) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return nil
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, l := range g.adj {
+		total += len(l)
+	}
+	return total / 2
+}
+
+// AvgDegree returns the average node degree (2E/N).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(g.n)
+}
+
+// MaxDegree returns the maximum node degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, l := range g.adj {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// DegreeHistogram returns a map from degree to node count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, l := range g.adj {
+		h[len(l)]++
+	}
+	return h
+}
+
+// BFSDistances returns, for every node, its hop distance from src, or -1 if
+// unreachable.
+func (g *Graph) BFSDistances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ReachableWithin returns the number of nodes (excluding src) within ttl hops
+// of src.
+func (g *Graph) ReachableWithin(src NodeID, ttl int) int {
+	count := 0
+	for _, d := range g.BFSDistances(src) {
+		if d > 0 && d <= ttl {
+			count++
+		}
+	}
+	return count
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	for _, d := range g.BFSDistances(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FloodEdgeCount returns the number of point-to-point messages a TTL-limited
+// flood starting at src generates, assuming the Gnutella forwarding rule:
+// a node forwards a newly seen query to all neighbors except the one it came
+// from, and duplicate arrivals terminate at the receiver. This matches the
+// breadth-first-search flood the paper simulates (§5.2).
+func (g *Graph) FloodEdgeCount(src NodeID, ttl int) int {
+	// A message traverses edge (u,v) at hop h+1 if u first saw the query at
+	// hop h < ttl and v != the node u received it from. Duplicate receipts
+	// still count as messages (they were sent) but are not forwarded.
+	type hop struct {
+		node NodeID
+		from NodeID
+	}
+	firstSeen := make([]int, g.n)
+	for i := range firstSeen {
+		firstSeen[i] = -1
+	}
+	firstSeen[src] = 0
+	frontier := []hop{{src, -1}}
+	messages := 0
+	for depth := 0; depth < ttl && len(frontier) > 0; depth++ {
+		var next []hop
+		for _, h := range frontier {
+			for _, w := range g.adj[h.node] {
+				if w == h.from {
+					continue
+				}
+				messages++
+				if firstSeen[w] < 0 {
+					firstSeen[w] = depth + 1
+					next = append(next, hop{w, h.node})
+				}
+			}
+		}
+		frontier = next
+	}
+	return messages
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, g.n)
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Validate checks structural invariants: symmetry, no self-loops, no
+// duplicate entries. It is used by tests and the topogen tool.
+func (g *Graph) Validate() error {
+	for v, list := range g.adj {
+		seen := make(map[NodeID]bool, len(list))
+		for _, w := range list {
+			if int(w) == v {
+				return fmt.Errorf("self-loop at %d", v)
+			}
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("neighbor %d of %d out of range", w, v)
+			}
+			if seen[w] {
+				return fmt.Errorf("duplicate neighbor %d of %d", w, v)
+			}
+			seen[w] = true
+			if !g.HasEdge(w, NodeID(v)) {
+				return fmt.Errorf("asymmetric edge %d->%d", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// sortAdjacency orders all neighbor lists; generators call it so that graph
+// iteration order is deterministic irrespective of construction order.
+func (g *Graph) sortAdjacency() {
+	for _, l := range g.adj {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+}

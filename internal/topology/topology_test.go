@@ -1,0 +1,298 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"hirep/internal/xrand"
+)
+
+func mustGen(t *testing.T, spec GenSpec, seed int64) *Graph {
+	t.Helper()
+	g, err := Generate(spec, xrand.New(seed))
+	if err != nil {
+		t.Fatalf("Generate(%+v): %v", spec, err)
+	}
+	return g
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate (reversed) edge accepted")
+	}
+}
+
+func TestAddEdgeRejectsOutOfRange(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestEdgeSymmetry(t *testing.T) {
+	g := NewGraph(4)
+	_ = g.AddEdge(0, 2)
+	if !g.HasEdge(2, 0) || !g.HasEdge(0, 2) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 1 {
+		t.Fatal("degrees wrong after AddEdge")
+	}
+}
+
+func TestBFSDistancesLine(t *testing.T) {
+	g := NewGraph(5)
+	for i := 0; i < 4; i++ {
+		_ = g.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d]=%d want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	_ = g.AddEdge(0, 1)
+	d := g.BFSDistances(0)
+	if d[2] != -1 {
+		t.Fatalf("isolated node distance %d, want -1", d[2])
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestReachableWithin(t *testing.T) {
+	g := NewGraph(6)
+	// Star: 0 at center.
+	for i := 1; i < 6; i++ {
+		_ = g.AddEdge(0, NodeID(i))
+	}
+	if got := g.ReachableWithin(0, 1); got != 5 {
+		t.Fatalf("center reach ttl=1: %d want 5", got)
+	}
+	if got := g.ReachableWithin(1, 1); got != 1 {
+		t.Fatalf("leaf reach ttl=1: %d want 1", got)
+	}
+	if got := g.ReachableWithin(1, 2); got != 5 {
+		t.Fatalf("leaf reach ttl=2: %d want 5", got)
+	}
+}
+
+func TestFloodEdgeCountLine(t *testing.T) {
+	// Line of 5 nodes, flood from one end: each hop is one message, no
+	// duplicates. ttl=3 -> 3 messages.
+	g := NewGraph(5)
+	for i := 0; i < 4; i++ {
+		_ = g.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	if got := g.FloodEdgeCount(0, 3); got != 3 {
+		t.Fatalf("line flood: %d messages, want 3", got)
+	}
+}
+
+func TestFloodEdgeCountTriangle(t *testing.T) {
+	// Triangle from node 0, ttl 2:
+	// hop1: 0->1, 0->2 (2 msgs). hop2: 1->2, 2->1 (2 duplicate msgs, not
+	// forwarded). Total 4.
+	g := NewGraph(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(1, 2)
+	if got := g.FloodEdgeCount(0, 2); got != 4 {
+		t.Fatalf("triangle flood: %d messages, want 4", got)
+	}
+	if got := g.FloodEdgeCount(0, 1); got != 2 {
+		t.Fatalf("triangle flood ttl=1: %d messages, want 2", got)
+	}
+}
+
+func TestFloodTTLZero(t *testing.T) {
+	g := mustGen(t, GenSpec{Model: PowerLaw, N: 50, AvgDegree: 4}, 1)
+	if got := g.FloodEdgeCount(0, 0); got != 0 {
+		t.Fatalf("ttl=0 flood sent %d messages", got)
+	}
+}
+
+func TestPowerLawConnectedAndValid(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := mustGen(t, GenSpec{Model: PowerLaw, N: 500, AvgDegree: 4}, seed)
+		if !g.Connected() {
+			t.Fatalf("seed %d: power-law graph disconnected", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestPowerLawDegreeSkew(t *testing.T) {
+	g := mustGen(t, GenSpec{Model: PowerLaw, N: 2000, AvgDegree: 4}, 7)
+	avg := g.AvgDegree()
+	if avg < 3 || avg > 5 {
+		t.Fatalf("avg degree %.2f far from target 4", avg)
+	}
+	// Power-law graphs have hubs: max degree should greatly exceed average.
+	if float64(g.MaxDegree()) < 5*avg {
+		t.Errorf("max degree %d not hub-like for avg %.2f", g.MaxDegree(), avg)
+	}
+	// Minimum degree is the attachment parameter m = AvgDegree/2.
+	for _, v := range g.Nodes() {
+		if g.Degree(v) < 2 {
+			t.Fatalf("node %d has degree %d < m=2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestFixedDegreeTargets(t *testing.T) {
+	for _, deg := range []int{2, 3, 4} {
+		g := mustGen(t, GenSpec{Model: FixedAvgDegree, N: 1000, AvgDegree: deg}, 11)
+		if !g.Connected() {
+			t.Fatalf("deg %d: disconnected", deg)
+		}
+		if math.Abs(g.AvgDegree()-float64(deg)) > 0.3 {
+			t.Errorf("deg %d: avg degree %.2f", deg, g.AvgDegree())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Model: PowerLaw, N: 300, AvgDegree: 4}
+	a := mustGen(t, spec, 42)
+	b := mustGen(t, spec, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for _, v := range a.Nodes() {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d neighbor count differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d neighbors differ", v)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenSpec{Model: PowerLaw, N: 1, AvgDegree: 4}, xrand.New(1)); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := Generate(GenSpec{Model: PowerLaw, N: 10, AvgDegree: 0}, xrand.New(1)); err == nil {
+		t.Error("AvgDegree=0 accepted")
+	}
+	if _, err := Generate(GenSpec{Model: Model(99), N: 10, AvgDegree: 4}, xrand.New(1)); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestDegreeHistogramSums(t *testing.T) {
+	g := mustGen(t, GenSpec{Model: PowerLaw, N: 400, AvgDegree: 4}, 5)
+	total := 0
+	for _, c := range g.DegreeHistogram() {
+		total += c
+	}
+	if total != g.N() {
+		t.Fatalf("histogram counts %d nodes, graph has %d", total, g.N())
+	}
+}
+
+func TestFloodCountGrowsWithDegree(t *testing.T) {
+	// Figure 5's premise: denser networks flood more messages.
+	var prev int
+	for _, deg := range []int{2, 3, 4} {
+		g := mustGen(t, GenSpec{Model: FixedAvgDegree, N: 1000, AvgDegree: deg}, 3)
+		total := 0
+		for _, src := range []NodeID{0, 100, 500} {
+			total += g.FloodEdgeCount(src, 4)
+		}
+		if total <= prev {
+			t.Fatalf("flood message count did not grow with degree: deg=%d total=%d prev=%d", deg, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if PowerLaw.String() != "powerlaw" || FixedAvgDegree.String() != "fixed-avg-degree" {
+		t.Error("Model.String mismatch")
+	}
+	if Model(42).String() == "" {
+		t.Error("unknown model should still render")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := mustGen(t, GenSpec{Model: PowerLaw, N: 200, AvgDegree: 4}, 77)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", got.N(), got.NumEdges(), g.N(), g.NumEdges())
+	}
+	for _, v := range g.Nodes() {
+		a, b := g.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbors changed", v)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\nnodes 3\n",
+		"hirep-topology v1\nnodes x\n",
+		"hirep-topology v1\nnodes -1\n",
+		"hirep-topology v1\nnodes 3\n0 0\n",      // self loop
+		"hirep-topology v1\nnodes 3\n0 5\n",      // out of range
+		"hirep-topology v1\nnodes 3\n0 1\n0 1\n", // duplicate
+		"hirep-topology v1\nnodes 3\nzz\n",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	g, err := Read(strings.NewReader("hirep-topology v1\nnodes 3\n\n0 1\n\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+}

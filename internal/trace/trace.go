@@ -1,0 +1,109 @@
+// Package trace is a lightweight event-tracing facility for the discrete-
+// event simulator: a fixed-capacity ring of message-delivery events with
+// kind filtering, for debugging protocol behaviour ("show me the last 50
+// hirep/trust-req deliveries around the failure").
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	At   float64 // virtual time (ms)
+	Kind string  // message kind
+	From int
+	To   int
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%10.2fms %-24s %4d -> %-4d", e.At, e.Kind, e.From, e.To)
+}
+
+// Ring is a bounded in-memory trace. The zero value is unusable; use New.
+// Safe for concurrent use.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+	filter func(Event) bool
+	seen   int
+}
+
+// New creates a ring holding the most recent capacity events (minimum 1).
+func New(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// SetFilter installs a predicate; events failing it are dropped. A nil
+// filter records everything.
+func (r *Ring) SetFilter(f func(Event) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.filter = f
+}
+
+// KindPrefixFilter returns a filter keeping events whose kind starts with
+// any of the given prefixes.
+func KindPrefixFilter(prefixes ...string) func(Event) bool {
+	return func(e Event) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(e.Kind, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Record adds an event (subject to the filter). It implements the
+// simnet.Tracer interface.
+func (r *Ring) Record(at float64, kind string, from, to int) {
+	e := Event{At: at, Kind: kind, From: from, To: to}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filter != nil && !r.filter(e) {
+		return
+	}
+	r.seen++
+	r.events[r.next] = e
+	r.next = (r.next + 1) % len(r.events)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// Seen returns how many events passed the filter since creation (including
+// ones the ring has since overwritten).
+func (r *Ring) Seen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	return append(out, r.events[:r.next]...)
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+func TestRingRetainsMostRecent(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.Record(float64(i), "k", i, i+1)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d retained", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != float64(4+i) {
+			t.Fatalf("wrong retention order: %v", evs)
+		}
+	}
+	if r.Seen() != 7 {
+		t.Fatalf("seen %d", r.Seen())
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := New(10)
+	r.Record(1, "a", 0, 1)
+	r.Record(2, "b", 1, 2)
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != "a" || evs[1].Kind != "b" {
+		t.Fatalf("partial fill wrong: %v", evs)
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := New(10)
+	r.SetFilter(KindPrefixFilter("hirep/"))
+	r.Record(1, "hirep/trust-req", 0, 1)
+	r.Record(2, "voting/trust-req", 1, 2)
+	r.Record(3, "hirep/report", 2, 3)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("filter kept %d", len(evs))
+	}
+	for _, e := range evs {
+		if !strings.HasPrefix(e.Kind, "hirep/") {
+			t.Fatalf("foreign kind retained: %v", e)
+		}
+	}
+}
+
+func TestRingMinCapacity(t *testing.T) {
+	r := New(0)
+	r.Record(1, "a", 0, 1)
+	r.Record(2, "b", 0, 1)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Kind != "b" {
+		t.Fatalf("cap-1 ring: %v", evs)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(float64(i), "k", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Seen() != 800 {
+		t.Fatalf("seen %d", r.Seen())
+	}
+	if len(r.Events()) != 128 {
+		t.Fatalf("retained %d", len(r.Events()))
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := New(4)
+	r.Record(12.5, "hirep/trust-req", 3, 9)
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "hirep/trust-req") || !strings.Contains(out, "3 ->") {
+		t.Fatalf("dump format: %q", out)
+	}
+}
+
+func TestTracerWiredIntoSimnet(t *testing.T) {
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 20, AvgDegree: 4}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(16)
+	net.SetTracer(r)
+	net.Send(0, 1, "demo", nil)
+	net.Send(1, 2, "demo", nil)
+	net.Run(0)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("traced %d deliveries", len(evs))
+	}
+	if evs[0].At <= 0 {
+		t.Fatal("delivery time not recorded")
+	}
+	// Tracing is at delivery time: events are time-ordered.
+	if evs[1].At < evs[0].At {
+		t.Fatal("trace out of order")
+	}
+}
+
+func BenchmarkRingRecord(b *testing.B) {
+	r := New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(float64(i), "hirep/trust-req", i&1023, (i+1)&1023)
+	}
+}

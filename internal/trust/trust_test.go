@@ -1,0 +1,270 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hirep/internal/xrand"
+)
+
+func TestValueValid(t *testing.T) {
+	for _, v := range []Value{0, 0.5, 1} {
+		if !v.Valid() {
+			t.Errorf("%v should be valid", v)
+		}
+	}
+	for _, v := range []Value{-0.01, 1.01, Value(math.NaN())} {
+		if v.Valid() {
+			t.Errorf("%v should be invalid", v)
+		}
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	cases := []struct {
+		v    Value
+		good bool
+		want bool
+	}{
+		{0.9, true, true},
+		{0.9, false, false},
+		{0.1, false, true},
+		{0.1, true, false},
+		{0.5, true, false}, // exactly 0.5 does not endorse
+		{0.5, false, true},
+	}
+	for _, c := range cases {
+		if got := c.v.Consistent(c.good); got != c.want {
+			t.Errorf("Consistent(%v, %v)=%v want %v", c.v, c.good, got, c.want)
+		}
+	}
+}
+
+func TestRatingModelRanges(t *testing.T) {
+	m := DefaultRatingModel()
+	rng := xrand.New(1)
+	for i := 0; i < 2000; i++ {
+		// Good agent, trustworthy subject: [0.6, 1).
+		v := m.Evaluate(true, true, rng)
+		if v < 0.6 || v >= 1.0 {
+			t.Fatalf("good/trustworthy rating %v out of [0.6,1)", v)
+		}
+		// Good agent, untrustworthy subject: [0, 0.4).
+		v = m.Evaluate(true, false, rng)
+		if v < 0 || v >= 0.4 {
+			t.Fatalf("good/untrustworthy rating %v out of [0,0.4)", v)
+		}
+		// Bad agent inverts.
+		v = m.Evaluate(false, true, rng)
+		if v < 0 || v >= 0.4 {
+			t.Fatalf("bad/trustworthy rating %v out of [0,0.4)", v)
+		}
+		v = m.Evaluate(false, false, rng)
+		if v < 0.6 || v >= 1.0 {
+			t.Fatalf("bad/untrustworthy rating %v out of [0.6,1)", v)
+		}
+	}
+}
+
+func TestRatingModelValidate(t *testing.T) {
+	if err := DefaultRatingModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RatingModel{
+		{GoodLo: 0.8, GoodHi: 0.6, BadLo: 0, BadHi: 0.4},
+		{GoodLo: -0.1, GoodHi: 1, BadLo: 0, BadHi: 0.4},
+		{GoodLo: 0.6, GoodHi: 1.2, BadLo: 0, BadHi: 0.4},
+		{GoodLo: 0.6, GoodHi: 1, BadLo: 0.4, BadHi: 0.4},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestExpertiseAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewExpertise(a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+	if _, err := NewExpertise(0.3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpertiseStartsAtOne(t *testing.T) {
+	e, _ := NewExpertise(0.3)
+	if e.Value() != 1 {
+		t.Fatalf("initial expertise %v, want 1 (§3.4.3)", e.Value())
+	}
+}
+
+func TestExpertiseEWMA(t *testing.T) {
+	e, _ := NewExpertise(0.5)
+	e.Update(false) // 0.5*0 + 0.5*1 = 0.5
+	if math.Abs(e.Value()-0.5) > 1e-12 {
+		t.Fatalf("after one miss: %v want 0.5", e.Value())
+	}
+	e.Update(true) // 0.5*1 + 0.5*0.5 = 0.75
+	if math.Abs(e.Value()-0.75) > 1e-12 {
+		t.Fatalf("after hit: %v want 0.75", e.Value())
+	}
+}
+
+func TestExpertiseConvergesToAccuracy(t *testing.T) {
+	// An agent that is always right converges to 1; always wrong to 0.
+	right, _ := NewExpertise(0.3)
+	wrong, _ := NewExpertise(0.3)
+	for i := 0; i < 100; i++ {
+		right.Update(true)
+		wrong.Update(false)
+	}
+	if right.Value() < 0.999 {
+		t.Errorf("always-right expertise %v", right.Value())
+	}
+	if wrong.Value() > 0.001 {
+		t.Errorf("always-wrong expertise %v", wrong.Value())
+	}
+}
+
+func TestExpertiseBoundedProperty(t *testing.T) {
+	f := func(updates []bool) bool {
+		e, _ := NewExpertise(0.3)
+		for _, u := range updates {
+			e.Update(u)
+		}
+		return e.Value() >= 0 && e.Value() <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateWeightedMean(t *testing.T) {
+	var a Aggregate
+	a.Add(1.0, 3)
+	a.Add(0.0, 1)
+	v, ok := a.Value()
+	if !ok {
+		t.Fatal("no value")
+	}
+	if math.Abs(float64(v)-0.75) > 1e-12 {
+		t.Fatalf("weighted mean %v want 0.75", v)
+	}
+	if a.N() != 2 {
+		t.Fatalf("N=%d", a.N())
+	}
+}
+
+func TestAggregateIgnoresNonPositiveWeights(t *testing.T) {
+	var a Aggregate
+	a.Add(1.0, 0)
+	a.Add(1.0, -2)
+	if _, ok := a.Value(); ok {
+		t.Fatal("zero-weight aggregate produced a value")
+	}
+	a.Add(0.4, 1)
+	v, ok := a.Value()
+	if !ok || math.Abs(float64(v)-0.4) > 1e-12 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+}
+
+func TestAggregateEmptyNoValue(t *testing.T) {
+	var a Aggregate
+	if _, ok := a.Value(); ok {
+		t.Fatal("empty aggregate produced a value")
+	}
+}
+
+func TestAggregateBoundedProperty(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		var a Aggregate
+		n := rng.IntRange(1, 20)
+		for i := 0; i < n; i++ {
+			a.Add(Value(rng.Float64()), rng.Float64())
+		}
+		if v, ok := a.Value(); ok && (v < 0 || v > 1) {
+			t.Fatalf("aggregate %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestMSEAccumulator(t *testing.T) {
+	var m MSEAccumulator
+	if m.MSE() != 0 {
+		t.Fatal("empty MSE nonzero")
+	}
+	m.Observe(1, 1)
+	m.Observe(0, 1) // error 1
+	if math.Abs(m.MSE()-0.5) > 1e-12 {
+		t.Fatalf("MSE %v want 0.5", m.MSE())
+	}
+	if m.N() != 2 {
+		t.Fatalf("N=%d", m.N())
+	}
+}
+
+func TestMSEPerfectEstimatesZero(t *testing.T) {
+	var m MSEAccumulator
+	rng := xrand.New(5)
+	for i := 0; i < 100; i++ {
+		v := Value(rng.Float64())
+		m.Observe(v, v)
+	}
+	if m.MSE() != 0 {
+		t.Fatalf("perfect estimates gave MSE %v", m.MSE())
+	}
+}
+
+func TestOracleAssignment(t *testing.T) {
+	o := NewOracle(10000, 0.7, xrand.New(3))
+	frac := float64(o.CountTrustworthy()) / float64(o.N())
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("trustworthy fraction %.3f, want ~0.7", frac)
+	}
+	for i := 0; i < o.N(); i++ {
+		want := Value(0)
+		if o.Trustworthy(i) {
+			want = 1
+		}
+		if o.TrueValue(i) != want {
+			t.Fatalf("TrueValue(%d) inconsistent with Trustworthy", i)
+		}
+		if o.TransactionOutcome(i) != o.Trustworthy(i) {
+			t.Fatalf("outcome inconsistent for %d", i)
+		}
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	a := NewOracle(500, 0.5, xrand.New(77))
+	b := NewOracle(500, 0.5, xrand.New(77))
+	for i := 0; i < 500; i++ {
+		if a.Trustworthy(i) != b.Trustworthy(i) {
+			t.Fatal("oracle not deterministic")
+		}
+	}
+}
+
+func TestGoodAgentEvaluationIsConsistent(t *testing.T) {
+	// A good agent's evaluation must always be consistent with the outcome —
+	// the property that drives expertise learning in Figure 6.
+	m := DefaultRatingModel()
+	rng := xrand.New(8)
+	for i := 0; i < 1000; i++ {
+		subject := rng.Bool(0.5)
+		good := m.Evaluate(true, subject, rng)
+		if !good.Consistent(subject) {
+			t.Fatalf("good agent inconsistent: rating %v for subject=%v", good, subject)
+		}
+		bad := m.Evaluate(false, subject, rng)
+		if bad.Consistent(subject) {
+			t.Fatalf("bad agent accidentally consistent: rating %v for subject=%v", bad, subject)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package trustme
+
+import (
+	"testing"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+	"hirep/internal/xrand"
+)
+
+func buildSystem(t testing.TB, n int, cfg Config, seed int64) *System {
+	t.Helper()
+	rng := xrand.New(seed)
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: n, AvgDegree: 4}, rng.Split("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := trust.NewOracle(n, 0.5, rng.Split("oracle"))
+	sys, err := NewSystem(net, oracle, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{THAsPerPeer: 0, TTL: 7, CandidatesPerTx: 1, Rating: trust.DefaultRatingModel()},
+		{THAsPerPeer: 3, TTL: 0, CandidatesPerTx: 1, Rating: trust.DefaultRatingModel()},
+		{THAsPerPeer: 3, TTL: 7, MaliciousFrac: 2, CandidatesPerTx: 1, Rating: trust.DefaultRatingModel()},
+		{THAsPerPeer: 3, TTL: 7, CandidatesPerTx: 0, Rating: trust.DefaultRatingModel()},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTHAAssignment(t *testing.T) {
+	sys := buildSystem(t, 200, DefaultConfig(), 1)
+	for i := 0; i < 200; i++ {
+		thas := sys.THAsOf(topology.NodeID(i))
+		if len(thas) != sys.cfg.THAsPerPeer {
+			t.Fatalf("peer %d has %d THAs", i, len(thas))
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, th := range thas {
+			if th == topology.NodeID(i) {
+				t.Fatalf("peer %d is its own THA", i)
+			}
+			if seen[th] {
+				t.Fatalf("duplicate THA for %d", i)
+			}
+			seen[th] = true
+		}
+	}
+}
+
+func TestTransactionCollectsTHAVotes(t *testing.T) {
+	sys := buildSystem(t, 200, DefaultConfig(), 2)
+	res := sys.RunRandomTransaction()
+	if res.TrustMessages == 0 {
+		t.Fatal("no traffic")
+	}
+	ok := false
+	for _, c := range res.Candidates {
+		if c == res.Chosen {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("chosen not among candidates")
+	}
+}
+
+func TestDoubleBroadcastCost(t *testing.T) {
+	// TrustMe's per-transaction traffic must be at flood scale — much larger
+	// than hiREP's O(c) unicasts, and roughly two floods.
+	sys := buildSystem(t, 300, DefaultConfig(), 3)
+	res := sys.RunRandomTransaction()
+	oneFlood := sys.net.Graph().FloodEdgeCount(res.Requestor, sys.cfg.TTL)
+	if res.TrustMessages < int64(oneFlood) {
+		t.Fatalf("traffic %d below one flood %d", res.TrustMessages, oneFlood)
+	}
+}
+
+func TestReportsReachTHAs(t *testing.T) {
+	sys := buildSystem(t, 150, DefaultConfig(), 4)
+	// Run enough transactions that some provider's THAs accumulate reports.
+	total := 0
+	for i := 0; i < 30; i++ {
+		sys.RunRandomTransaction()
+	}
+	for i := range sys.tallies {
+		for _, tl := range sys.tallies[i] {
+			total += tl.pos + tl.neg
+		}
+	}
+	if total == 0 {
+		t.Fatal("no reports stored at THAs after 30 transactions")
+	}
+}
+
+func TestReportsStoredOnlyAtTHAs(t *testing.T) {
+	sys := buildSystem(t, 150, DefaultConfig(), 5)
+	for i := 0; i < 20; i++ {
+		sys.RunRandomTransaction()
+	}
+	for node := range sys.tallies {
+		for subject := range sys.tallies[node] {
+			if !sys.isTHAOf(topology.NodeID(node), subject) {
+				t.Fatalf("node %d stores trust for %d without being its THA", node, subject)
+			}
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []TxResult {
+		sys := buildSystem(t, 120, DefaultConfig(), 6)
+		out := make([]TxResult, 5)
+		for i := range out {
+			out[i] = sys.RunRandomTransaction()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Chosen != b[i].Chosen || a[i].TrustMessages != b[i].TrustMessages {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestOracleMismatchRejected(t *testing.T) {
+	rng := xrand.New(1)
+	g, _ := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 50, AvgDegree: 4}, rng)
+	net, _ := simnet.New(g, simnet.DefaultConfig(1))
+	if _, err := NewSystem(net, trust.NewOracle(10, 0.5, rng), DefaultConfig(), rng); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}

@@ -1,0 +1,322 @@
+// Package voting implements the flooding-based polling baseline the paper
+// compares against ("pure voting system", §5.2; called a polling system in
+// P2PREP).
+//
+// A requestor floods a trust-value query with a TTL over the overlay; every
+// node reached computes a trust value for the candidates from its own local
+// experience (modelled by the rating model) and routes its vote back along
+// the reverse query path, Gnutella-style. The requestor weighs all votes
+// equally — the property that makes pure voting fragile as the malicious
+// population grows (Figure 7), since "the trust value provided by each node
+// is treated equally".
+package voting
+
+import (
+	"fmt"
+	"math"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+	"hirep/internal/xrand"
+)
+
+// Message kinds for the polling protocol.
+const (
+	KindVoteReq  = "voting/trust-req"
+	KindVoteResp = "voting/trust-resp"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// TTL bounds the query flood (the paper uses 4 in simulation because of
+	// the network-size limit; 7 in deployed Gnutella).
+	TTL int
+	// MaliciousFrac is the fraction of nodes whose votes are inverted.
+	MaliciousFrac float64
+	// CandidatesPerTx matches the hiREP workload for fair comparison.
+	CandidatesPerTx int
+	// Rating is the per-node evaluation model.
+	Rating trust.RatingModel
+}
+
+// DefaultConfig mirrors Table 1: TTL 4, 10% malicious voters.
+func DefaultConfig() Config {
+	return Config{TTL: 4, MaliciousFrac: 0.1, CandidatesPerTx: 3, Rating: trust.DefaultRatingModel()}
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.TTL < 1:
+		return fmt.Errorf("voting: TTL must be >= 1, got %d", c.TTL)
+	case c.MaliciousFrac < 0 || c.MaliciousFrac > 1:
+		return fmt.Errorf("voting: MaliciousFrac must be in [0,1], got %v", c.MaliciousFrac)
+	case c.CandidatesPerTx < 1:
+		return fmt.Errorf("voting: CandidatesPerTx must be >= 1, got %d", c.CandidatesPerTx)
+	}
+	return c.Rating.Validate()
+}
+
+// Payloads.
+type (
+	voteReqPayload struct {
+		pollID     uint64
+		origin     topology.NodeID
+		candidates []topology.NodeID
+		ttl        int
+		// path is the reverse route back to the origin, nearest-first.
+		path []topology.NodeID
+	}
+	voteRespPayload struct {
+		pollID uint64
+		voter  topology.NodeID
+		votes  []trust.Value
+		// path holds the remaining reverse hops; empty means deliver here.
+		path []topology.NodeID
+	}
+)
+
+// Wire-size estimates for the bytes view of the traffic experiments (same
+// constants as the hiREP size model: 5-byte frames, 21-byte addresses,
+// 20-byte node IDs).
+func querySize(candidates, pathLen int) int {
+	return 5 + 8 + 20*candidates + 8 + 21*pathLen + 16
+}
+
+func voteSize(candidates, pathLen int) int {
+	return 5 + 8 + 20 + 8*candidates + 21*pathLen + 12
+}
+
+// pollState accumulates one in-flight poll at the requestor.
+type pollState struct {
+	id       uint64
+	sums     []float64
+	count    int
+	lastResp simnet.Time
+}
+
+// TxResult mirrors core.TxResult for the experiment harness.
+type TxResult struct {
+	Requestor     topology.NodeID
+	Candidates    []topology.NodeID
+	Estimates     []trust.Value
+	Chosen        topology.NodeID
+	Outcome       bool
+	SqErr         float64
+	SqN           int
+	ResponseTime  simnet.Time
+	TrustMessages int64
+	Voters        int
+}
+
+// MSE returns the transaction's mean squared estimation error.
+func (r TxResult) MSE() float64 {
+	if r.SqN == 0 {
+		return 0
+	}
+	return r.SqErr / float64(r.SqN)
+}
+
+// System is a pure-voting deployment over a simulated network.
+type System struct {
+	net       *simnet.Network
+	oracle    *trust.Oracle
+	cfg       Config
+	rng       *xrand.RNG
+	wrng      *xrand.RNG
+	malicious []bool
+	voterRNGs []*xrand.RNG
+	seen      map[uint64]map[topology.NodeID]bool
+	cur       *pollState
+	nextID    uint64
+}
+
+// NewSystem builds the baseline over net with ground truth from oracle.
+func NewSystem(net *simnet.Network, oracle *trust.Oracle, cfg Config, rng *xrand.RNG) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.Graph().N()
+	if oracle.N() != n {
+		return nil, fmt.Errorf("voting: oracle has %d nodes, graph has %d", oracle.N(), n)
+	}
+	s := &System{
+		net:       net,
+		oracle:    oracle,
+		cfg:       cfg,
+		rng:       rng.Split("voting"),
+		malicious: make([]bool, n),
+		voterRNGs: make([]*xrand.RNG, n),
+		seen:      make(map[uint64]map[topology.NodeID]bool),
+	}
+	s.wrng = s.rng.Split("workload")
+	roleRNG := s.rng.Split("roles")
+	for i := 0; i < n; i++ {
+		s.malicious[i] = roleRNG.Bool(cfg.MaliciousFrac)
+		s.voterRNGs[i] = s.rng.SplitN("voter", i)
+		id := topology.NodeID(i)
+		net.SetHandler(id, func(nw *simnet.Network, m simnet.Message) { s.dispatch(nw, m) })
+	}
+	return s, nil
+}
+
+// MaliciousCount returns how many nodes vote inversely.
+func (s *System) MaliciousCount() int {
+	c := 0
+	for _, m := range s.malicious {
+		if m {
+			c++
+		}
+	}
+	return c
+}
+
+func (s *System) dispatch(nw *simnet.Network, m simnet.Message) {
+	switch m.Kind {
+	case KindVoteReq:
+		s.onVoteReq(nw, m)
+	case KindVoteResp:
+		s.onVoteResp(nw, m)
+	}
+}
+
+// onVoteReq handles a flood arrival: first receipt votes and forwards;
+// duplicates die (they were still counted as sent messages).
+func (s *System) onVoteReq(nw *simnet.Network, m simnet.Message) {
+	p := m.Payload.(voteReqPayload)
+	seen := s.seen[p.pollID]
+	if seen == nil {
+		seen = make(map[topology.NodeID]bool)
+		s.seen[p.pollID] = seen
+	}
+	if seen[m.To] {
+		return
+	}
+	seen[m.To] = true
+	// Vote: evaluate every candidate from local experience and send the vote
+	// back along the reverse path.
+	votes := make([]trust.Value, len(p.candidates))
+	for i, c := range p.candidates {
+		votes[i] = s.cfg.Rating.Evaluate(!s.malicious[m.To], s.oracle.Trustworthy(int(c)), s.voterRNGs[m.To])
+	}
+	resp := voteRespPayload{pollID: p.pollID, voter: m.To, votes: votes, path: p.path[1:]}
+	nw.SendBytes(m.To, p.path[0], KindVoteResp, resp, voteSize(len(votes), len(p.path)))
+	// Forward while TTL lasts.
+	if p.ttl <= 1 {
+		return
+	}
+	for _, nb := range s.net.Graph().Neighbors(m.To) {
+		if nb == m.From {
+			continue
+		}
+		fwd := voteReqPayload{
+			pollID:     p.pollID,
+			origin:     p.origin,
+			candidates: p.candidates,
+			ttl:        p.ttl - 1,
+			path:       append([]topology.NodeID{m.To}, p.path...),
+		}
+		nw.SendBytes(m.To, nb, KindVoteReq, fwd, querySize(len(p.candidates), len(fwd.path)))
+	}
+}
+
+// onVoteResp forwards a vote one reverse hop, or accumulates it at the
+// requestor.
+func (s *System) onVoteResp(nw *simnet.Network, m simnet.Message) {
+	p := m.Payload.(voteRespPayload)
+	if len(p.path) > 0 {
+		next := p.path[0]
+		nw.SendBytes(m.To, next, KindVoteResp, voteRespPayload{
+			pollID: p.pollID, voter: p.voter, votes: p.votes, path: p.path[1:],
+		}, voteSize(len(p.votes), len(p.path)))
+		return
+	}
+	if s.cur == nil || s.cur.id != p.pollID {
+		return
+	}
+	for i, v := range p.votes {
+		s.cur.sums[i] += float64(v)
+	}
+	s.cur.count++
+	s.cur.lastResp = nw.Now()
+}
+
+// RunTransaction floods a poll for the candidates, waits for all votes, and
+// selects the best candidate by the unweighted vote mean.
+func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology.NodeID) TxResult {
+	before := s.net.Count(KindVoteReq) + s.net.Count(KindVoteResp)
+	s.nextID++
+	poll := &pollState{id: s.nextID, sums: make([]float64, len(candidates))}
+	s.cur = poll
+	s.seen[poll.id] = map[topology.NodeID]bool{requestor: true}
+	start := s.net.Now()
+	for _, nb := range s.net.Graph().Neighbors(requestor) {
+		s.net.SendBytes(requestor, nb, KindVoteReq, voteReqPayload{
+			pollID:     poll.id,
+			origin:     requestor,
+			candidates: candidates,
+			ttl:        s.cfg.TTL,
+			path:       []topology.NodeID{requestor},
+		}, querySize(len(candidates), 1))
+	}
+	s.net.Run(0)
+	s.cur = nil
+	delete(s.seen, poll.id)
+
+	res := TxResult{
+		Requestor:  requestor,
+		Candidates: candidates,
+		Estimates:  make([]trust.Value, len(candidates)),
+		Voters:     poll.count,
+	}
+	bestIdx, bestVal := -1, -1.0
+	for i, c := range candidates {
+		if poll.count == 0 {
+			res.Estimates[i] = trust.Value(math.NaN())
+			d := 0.5 - float64(s.oracle.TrueValue(int(c)))
+			res.SqErr += d * d
+			res.SqN++
+			continue
+		}
+		v := trust.Value(poll.sums[i] / float64(poll.count))
+		res.Estimates[i] = v
+		d := float64(v) - float64(s.oracle.TrueValue(int(c)))
+		res.SqErr += d * d
+		res.SqN++
+		if float64(v) > bestVal {
+			bestVal, bestIdx = float64(v), i
+		}
+	}
+	if bestIdx < 0 {
+		bestIdx = s.wrng.Intn(len(candidates))
+	}
+	res.Chosen = candidates[bestIdx]
+	res.Outcome = s.oracle.TransactionOutcome(int(res.Chosen))
+	if poll.lastResp > 0 {
+		res.ResponseTime = poll.lastResp - start
+	}
+	res.TrustMessages = s.net.Count(KindVoteReq) + s.net.Count(KindVoteResp) - before
+	return res
+}
+
+// RunRandomTransaction mirrors the hiREP workload unit.
+func (s *System) RunRandomTransaction() TxResult {
+	n := s.net.Graph().N()
+	requestor := topology.NodeID(s.wrng.Intn(n))
+	return s.RunTransaction(requestor, s.PickCandidates(requestor))
+}
+
+// PickCandidates draws CandidatesPerTx distinct provider candidates != requestor.
+func (s *System) PickCandidates(requestor topology.NodeID) []topology.NodeID {
+	n := s.net.Graph().N()
+	out := make([]topology.NodeID, 0, s.cfg.CandidatesPerTx)
+	for _, idx := range s.wrng.Choose(n-1, s.cfg.CandidatesPerTx) {
+		id := topology.NodeID(idx)
+		if id >= requestor {
+			id++
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package voting
+
+import (
+	"math"
+	"testing"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+	"hirep/internal/trust"
+	"hirep/internal/xrand"
+)
+
+func buildSystem(t testing.TB, n, deg int, cfg Config, seed int64) *System {
+	t.Helper()
+	rng := xrand.New(seed)
+	g, err := topology.Generate(topology.GenSpec{Model: topology.FixedAvgDegree, N: n, AvgDegree: deg}, rng.Split("topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := trust.NewOracle(n, 0.5, rng.Split("oracle"))
+	sys, err := NewSystem(net, oracle, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{TTL: 0, CandidatesPerTx: 1, Rating: trust.DefaultRatingModel()},
+		{TTL: 4, MaliciousFrac: -1, CandidatesPerTx: 1, Rating: trust.DefaultRatingModel()},
+		{TTL: 4, CandidatesPerTx: 0, Rating: trust.DefaultRatingModel()},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPollCollectsVotes(t *testing.T) {
+	sys := buildSystem(t, 200, 4, DefaultConfig(), 1)
+	res := sys.RunRandomTransaction()
+	if res.Voters == 0 {
+		t.Fatal("no votes collected")
+	}
+	// TTL 4 over degree 4 should reach a large share of 200 nodes.
+	if res.Voters < 50 {
+		t.Fatalf("only %d voters reached", res.Voters)
+	}
+	if res.TrustMessages <= int64(res.Voters) {
+		t.Fatalf("flood traffic %d implausibly small for %d voters", res.TrustMessages, res.Voters)
+	}
+	if res.ResponseTime <= 0 {
+		t.Fatal("non-positive response time")
+	}
+}
+
+func TestEstimatesBounded(t *testing.T) {
+	sys := buildSystem(t, 150, 3, DefaultConfig(), 2)
+	for i := 0; i < 10; i++ {
+		res := sys.RunRandomTransaction()
+		for j, e := range res.Estimates {
+			if math.IsNaN(float64(e)) {
+				continue
+			}
+			if e < 0 || e > 1 {
+				t.Fatalf("estimate %v out of range for candidate %d", e, j)
+			}
+		}
+	}
+}
+
+func TestAccuracyWithHonestMajority(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaliciousFrac = 0
+	sys := buildSystem(t, 200, 4, cfg, 3)
+	var mse trust.MSEAccumulator
+	for i := 0; i < 20; i++ {
+		res := sys.RunRandomTransaction()
+		for j, c := range res.Candidates {
+			mse.Observe(res.Estimates[j], sys.oracle.TrueValue(int(c)))
+		}
+	}
+	// All-honest voting: estimates ~0.8/0.2 for truth 1/0 -> MSE ~ 0.04.
+	if mse.MSE() > 0.08 {
+		t.Fatalf("honest-voting MSE %.4f too high", mse.MSE())
+	}
+}
+
+func TestAccuracyDegradesWithAttackers(t *testing.T) {
+	// Figure 7's driving property: voting accuracy collapses as the
+	// malicious fraction grows, because all votes count equally.
+	mseAt := func(frac float64) float64 {
+		cfg := DefaultConfig()
+		cfg.MaliciousFrac = frac
+		sys := buildSystem(t, 200, 4, cfg, 4)
+		var mse trust.MSEAccumulator
+		for i := 0; i < 15; i++ {
+			res := sys.RunRandomTransaction()
+			for j, c := range res.Candidates {
+				mse.Observe(res.Estimates[j], sys.oracle.TrueValue(int(c)))
+			}
+		}
+		return mse.MSE()
+	}
+	low, mid, high := mseAt(0.1), mseAt(0.5), mseAt(0.9)
+	if !(low < mid && mid < high) {
+		t.Fatalf("MSE not increasing with attackers: %.4f %.4f %.4f", low, mid, high)
+	}
+}
+
+func TestTrafficGrowsWithDegree(t *testing.T) {
+	// Figure 5: denser overlays flood more messages.
+	msgsAt := func(deg int) int64 {
+		sys := buildSystem(t, 300, deg, DefaultConfig(), 5)
+		var total int64
+		for i := 0; i < 5; i++ {
+			total += sys.RunRandomTransaction().TrustMessages
+		}
+		return total
+	}
+	m2, m3, m4 := msgsAt(2), msgsAt(3), msgsAt(4)
+	if !(m2 < m3 && m3 < m4) {
+		t.Fatalf("flood traffic not increasing with degree: %d %d %d", m2, m3, m4)
+	}
+}
+
+func TestVotersBoundedByReach(t *testing.T) {
+	sys := buildSystem(t, 150, 3, DefaultConfig(), 6)
+	g := sys.net.Graph()
+	for i := 0; i < 5; i++ {
+		requestor := topology.NodeID(sys.rng.Intn(150))
+		res := sys.RunTransaction(requestor, sys.PickCandidates(requestor))
+		reach := g.ReachableWithin(requestor, sys.cfg.TTL)
+		if res.Voters > reach {
+			t.Fatalf("%d voters exceed %d reachable nodes", res.Voters, reach)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []TxResult {
+		sys := buildSystem(t, 120, 3, DefaultConfig(), 7)
+		out := make([]TxResult, 5)
+		for i := range out {
+			out[i] = sys.RunRandomTransaction()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Requestor != b[i].Requestor || a[i].Chosen != b[i].Chosen ||
+			a[i].TrustMessages != b[i].TrustMessages || a[i].Voters != b[i].Voters {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestMaliciousAssignment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaliciousFrac = 0.3
+	sys := buildSystem(t, 1000, 4, cfg, 8)
+	frac := float64(sys.MaliciousCount()) / 1000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("malicious fraction %.3f, want ~0.3", frac)
+	}
+}
+
+func TestOracleMismatchRejected(t *testing.T) {
+	rng := xrand.New(1)
+	g, _ := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 50, AvgDegree: 4}, rng)
+	net, _ := simnet.New(g, simnet.DefaultConfig(1))
+	oracle := trust.NewOracle(10, 0.5, rng)
+	if _, err := NewSystem(net, oracle, DefaultConfig(), rng); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestChosenAmongCandidates(t *testing.T) {
+	sys := buildSystem(t, 100, 3, DefaultConfig(), 9)
+	for i := 0; i < 10; i++ {
+		res := sys.RunRandomTransaction()
+		ok := false
+		for _, c := range res.Candidates {
+			if c == res.Chosen {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatal("chosen not among candidates")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the framing layer against hostile byte streams: it
+// must never panic or over-allocate, and everything it accepts must
+// round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, TOnion, []byte("payload"))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Add([]byte{0, 0, 0, 1, 5, 42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("accepted frame cannot be rewritten: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf)
+		if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip broke: %v", err)
+		}
+	})
+}
+
+// FuzzDecoder hardens the field codec: arbitrary bytes must decode without
+// panic, and the sticky error must fire before any out-of-bounds access.
+func FuzzDecoder(f *testing.F) {
+	var e Encoder
+	e.Bytes([]byte("ab")).String("cd").U64(7).Bool(true)
+	f.Add(e.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.Bytes()
+		_ = d.String()
+		_ = d.U64()
+		_ = d.Bool()
+		_ = d.Finish()
+	})
+}

@@ -1,0 +1,205 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentOfParentUse(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	// Advance a's stream heavily before splitting; b splits immediately.
+	for i := 0; i < 500; i++ {
+		a.Float64()
+	}
+	ca, cb := a.Split("child"), b.Split("child")
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("Split depends on parent stream position")
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	g := New(1)
+	a, b := g.Split("x"), g.Split("y")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("children for distinct labels look identical (%d/64 equal)", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	g := New(3)
+	seen := map[int64]bool{}
+	for i := 0; i < 256; i++ {
+		c := g.SplitN("rep", i)
+		if seen[c.Seed()] {
+			t.Fatalf("duplicate derived seed for index %d", i)
+		}
+		seen[c.Seed()] = true
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	g := New(9)
+	f := func(lo, hi float64) bool {
+		// Constrain to spans where lo + (hi-lo) is exactly representable;
+		// astronomically large spans overflow float64 arithmetic.
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.Abs(lo) > 1e100 || math.Abs(hi) > 1e100 || hi <= lo {
+			return true
+		}
+		v := g.Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRangeBounds(t *testing.T) {
+	g := New(11)
+	for i := 0; i < 1000; i++ {
+		v := g.IntRange(-5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+}
+
+func TestIntRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).IntRange(3, 2)
+}
+
+func TestChooseDistinct(t *testing.T) {
+	g := New(13)
+	for trial := 0; trial < 100; trial++ {
+		n := g.IntRange(1, 50)
+		k := g.IntRange(0, n)
+		out := g.Choose(n, k)
+		if len(out) != k {
+			t.Fatalf("Choose(%d,%d) returned %d items", n, k, len(out))
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= n {
+				t.Fatalf("Choose value %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("Choose returned duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChooseAllWhenKTooLarge(t *testing.T) {
+	g := New(17)
+	out := g.Choose(5, 10)
+	if len(out) != 5 {
+		t.Fatalf("expected permutation of 5, got %d", len(out))
+	}
+}
+
+func TestChooseUniformity(t *testing.T) {
+	g := New(19)
+	counts := make([]int, 10)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range g.Choose(10, 3) {
+			counts[v]++
+		}
+	}
+	// Each index should be picked ~ trials*3/10 = 6000 times.
+	for i, c := range counts {
+		if c < 5500 || c > 6500 {
+			t.Errorf("index %d chosen %d times, expected ~6000", i, c)
+		}
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	g := New(23)
+	w := []float64{0, 1, 3, 0}
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[g.WeightedIndex(w)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight indices were selected: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weight ratio should be ~3, got %.2f", ratio)
+	}
+}
+
+func TestWeightedIndexAllZeroFallsBackUniform(t *testing.T) {
+	g := New(29)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[g.WeightedIndex([]float64{0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("uniform fallback skewed: index %d got %d/3000", i, c)
+		}
+	}
+}
+
+func TestWeightedIndexNegativeTreatedZero(t *testing.T) {
+	g := New(31)
+	for i := 0; i < 1000; i++ {
+		if got := g.WeightedIndex([]float64{-5, 2, -1}); got != 1 {
+			t.Fatalf("negative weight selected: index %d", got)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := New(37)
+	hits := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if p < 0.23 || p < 0 || p > 0.27 {
+		t.Errorf("Bool(0.25) hit rate %.3f", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(41)
+	p := g.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in Perm", v)
+		}
+		seen[v] = true
+	}
+}
