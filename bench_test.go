@@ -16,6 +16,7 @@ import (
 	"hirep"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/simnet"
 	"hirep/internal/topology"
 	"hirep/internal/xrand"
 )
@@ -320,4 +321,37 @@ func BenchmarkTopologyGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimnetEventLoop measures the simulator hot path end to end at
+// experiment shape: a 1000-node power-law world under a mixed-fan-in message
+// load, drained through handlers with receiver queueing enabled. Reports
+// event-loop throughput; allocs/op should be 0 (the zero-allocation send and
+// delivery path is the tentpole property guarded by
+// internal/simnet.TestSendZeroAllocs).
+func BenchmarkSimnetEventLoop(b *testing.B) {
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: 1000, AvgDegree: 4}, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.Config{LatencyMin: 20, LatencyMax: 60, ProcPerMsg: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for id := 0; id < 1000; id++ {
+		net.SetHandler(topology.NodeID(id), func(*simnet.Network, simnet.Message) {})
+	}
+	kind := simnet.InternKind("bench/loop")
+	const batch = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			from := topology.NodeID(j % 1000)
+			net.SendKind(from, topology.NodeID((j*31+7)%1000), kind, nil)
+		}
+		events += int64(net.Run(0))
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"hirep/internal/metrics"
 	"hirep/internal/sim"
 	"hirep/internal/stats"
 )
@@ -32,6 +33,7 @@ func main() {
 		replicas = flag.Int("replicas", 0, "override replica count")
 		seed     = flag.Int64("seed", 0, "override root seed")
 		workers  = flag.Int("workers", 0, "override worker parallelism")
+		metricsF = flag.Bool("metrics", false, "collect and print simulator telemetry (per-kind latency/queueing histograms, event-loop throughput)")
 		outdir   = flag.String("outdir", "", "also write each experiment's table as <outdir>/<name>.csv")
 	)
 	flag.Parse()
@@ -58,6 +60,11 @@ func main() {
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var mtr *metrics.Sim
+	if *metricsF {
+		mtr = metrics.NewSim()
+		p.Metrics = mtr
 	}
 
 	type runner func(sim.Params) (sim.ExpResult, error)
@@ -116,6 +123,11 @@ func main() {
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; want fig5|fig6|fig7|fig8|table1|overhead|attacks|churn|models|latency|bytes|tokens|loss|all\n", *exp)
 		os.Exit(2)
+	}
+	if mtr != nil {
+		mtr.Summary().Render(os.Stdout)
+		fmt.Println()
+		mtr.Overview().Render(os.Stdout)
 	}
 }
 

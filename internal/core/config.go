@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"hirep/internal/simnet"
 	"hirep/internal/trust"
 )
 
@@ -155,6 +156,17 @@ const (
 	KindReport        = "hirep/report"
 	KindProbe         = "hirep/probe"
 	KindProbeAck      = "hirep/probe-ack"
+)
+
+// Interned kind IDs for the send fast path (simnet.InternKind).
+var (
+	kindAgentListReqID  = simnet.InternKind(KindAgentListReq)
+	kindAgentListRespID = simnet.InternKind(KindAgentListResp)
+	kindTrustReqID      = simnet.InternKind(KindTrustReq)
+	kindTrustRespID     = simnet.InternKind(KindTrustResp)
+	kindReportID        = simnet.InternKind(KindReport)
+	kindProbeID         = simnet.InternKind(KindProbe)
+	kindProbeAckID      = simnet.InternKind(KindProbeAck)
 )
 
 // TrafficKinds lists the kinds that make up hiREP's trust-distribution

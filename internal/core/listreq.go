@@ -45,7 +45,7 @@ func (s *System) onListReq(nw *simnet.Network, m simnet.Message) {
 			recs = []Recommendation{{Agent: m.To, Weight: 1}}
 		}
 		if len(recs) > 0 {
-			nw.SendBytes(m.To, p.origin, KindAgentListResp,
+			nw.SendKindBytes(m.To, p.origin, kindAgentListRespID,
 				listRespPayload{reqID: p.reqID, recs: recs}, listRespSize(len(recs)))
 			tokens--
 		}
@@ -78,7 +78,7 @@ func (s *System) onListReq(nw *simnet.Network, m simnet.Message) {
 		if t == 0 {
 			continue
 		}
-		nw.SendBytes(m.To, tgt, KindAgentListReq, listReqPayload{
+		nw.SendKindBytes(m.To, tgt, kindAgentListReqID, listReqPayload{
 			origin: p.origin, reqID: p.reqID, tokens: t, ttl: p.ttl - 1,
 		}, listReqSize())
 	}
@@ -132,7 +132,7 @@ func (s *System) requestAgentLists(id topology.NodeID) [][]Recommendation {
 			if i < extra {
 				t++
 			}
-			s.net.SendBytes(id, nb, KindAgentListReq, listReqPayload{
+			s.net.SendKindBytes(id, nb, kindAgentListReqID, listReqPayload{
 				origin: id, reqID: reqID, tokens: t, ttl: s.cfg.TTL,
 			}, listReqSize())
 		}

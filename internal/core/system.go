@@ -309,7 +309,7 @@ func (s *System) dispatch(nw *simnet.Network, m simnet.Message) {
 		if len(env.rest) > 0 {
 			next := env.rest[0]
 			fwd := onionEnvelope{rest: env.rest[1:], inner: env.inner, payloadSize: env.payloadSize}
-			nw.SendBytes(m.To, next, m.Kind, fwd, onionHopSize(len(env.rest), env.payloadSize))
+			nw.SendKindBytes(m.To, next, m.KindID, fwd, onionHopSize(len(env.rest), env.payloadSize))
 			return
 		}
 		m.Payload = env.inner
@@ -334,13 +334,13 @@ func (s *System) dispatch(nw *simnet.Network, m simnet.Message) {
 
 // onionSend launches a message along path (every element a hop, the last the
 // destination). Each hop is one counted message.
-func (s *System) onionSend(from topology.NodeID, kind string, path []topology.NodeID, inner any) {
+func (s *System) onionSend(from topology.NodeID, kind simnet.Kind, path []topology.NodeID, inner any) {
 	if len(path) == 0 {
 		panic("core: empty onion path")
 	}
 	ps := s.payloadSize(inner)
 	env := onionEnvelope{rest: path[1:], inner: inner, payloadSize: ps}
-	s.net.SendBytes(from, path[0], kind, env, onionHopSize(len(path), ps))
+	s.net.SendKindBytes(from, path[0], kind, env, onionHopSize(len(path), ps))
 }
 
 // relaysOf returns a copy of dst's published onion relays (excluding dst);

@@ -59,7 +59,7 @@ func (s *System) onTrustReq(nw *simnet.Network, m simnet.Message) {
 	}
 	// Respond through the requestor's onion using a fresh envelope, the
 	// "{SP_p(T), SP_e, Onion_e}" reply of §3.5.2.
-	s.onionSend(m.To, KindTrustResp, p.replyRoute, trustRespPayload{
+	s.onionSend(m.To, kindTrustRespID, p.replyRoute, trustRespPayload{
 		txID: p.txID, agent: m.To, estimates: ests,
 	})
 }
@@ -180,7 +180,7 @@ func (s *System) onProbe(nw *simnet.Network, m simnet.Message) {
 		return
 	}
 	p := m.Payload.(probePayload)
-	nw.SendBytes(m.To, p.origin, KindProbeAck, probeAckPayload{agent: m.To}, probeSize())
+	nw.SendKindBytes(m.To, p.origin, kindProbeAckID, probeAckPayload{agent: m.To}, probeSize())
 }
 
 // onProbeAck records a live backup agent.
@@ -225,7 +225,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 	replyRoute := append(append([]topology.NodeID(nil), p.route...), requestor)
 	for _, e := range p.list.entries {
 		path := append(append([]topology.NodeID(nil), e.route...), e.agent)
-		s.onionSend(requestor, KindTrustReq, path, trustReqPayload{
+		s.onionSend(requestor, kindTrustReqID, path, trustReqPayload{
 			txID: tx.id, requestor: requestor, candidates: candidates, replyRoute: replyRoute,
 		})
 	}
@@ -322,7 +322,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 	}
 	for _, e := range p.list.entries {
 		path := append(append([]topology.NodeID(nil), e.route...), e.agent)
-		s.onionSend(requestor, KindReport, path, reportPayload{
+		s.onionSend(requestor, kindReportID, path, reportPayload{
 			reporter: requestor, subject: res.Chosen, positive: reported,
 		})
 	}
@@ -340,7 +340,7 @@ func (s *System) refill(id topology.NodeID) {
 	if len(p.list.backups) > 0 {
 		s.curProbe = &probeCollect{acks: make(map[topology.NodeID]bool)}
 		for _, b := range p.list.backups {
-			s.net.SendBytes(id, b.agent, KindProbe, probePayload{origin: id, agent: b.agent}, probeSize())
+			s.net.SendKindBytes(id, b.agent, kindProbeID, probePayload{origin: id, agent: b.agent}, probeSize())
 		}
 		s.net.Run(0)
 		for agent := range s.curProbe.acks {

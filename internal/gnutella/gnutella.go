@@ -27,6 +27,12 @@ const (
 	KindQueryHit = "gnutella/query-hit"
 )
 
+// Interned kind IDs for the send fast path (simnet.InternKind).
+var (
+	kindQueryID    = simnet.InternKind(KindQuery)
+	kindQueryHitID = simnet.InternKind(KindQueryHit)
+)
+
 // File is one shared item.
 type File struct {
 	Name     string
@@ -244,7 +250,7 @@ func (s *Search) onQuery(nw *simnet.Network, m simnet.Message) {
 	for _, f := range s.catalog.FilesOf(m.To) {
 		if Match(f, p.query) {
 			hit := Hit{Provider: m.To, File: f, Hops: p.hops}
-			nw.Send(m.To, p.path[0], KindQueryHit, hitPayload{id: p.id, hit: hit, path: p.path[1:]})
+			nw.SendKind(m.To, p.path[0], kindQueryHitID, hitPayload{id: p.id, hit: hit, path: p.path[1:]})
 		}
 	}
 	if p.ttl <= 1 {
@@ -254,7 +260,7 @@ func (s *Search) onQuery(nw *simnet.Network, m simnet.Message) {
 		if nb == m.From {
 			continue
 		}
-		nw.Send(m.To, nb, KindQuery, queryPayload{
+		nw.SendKind(m.To, nb, kindQueryID, queryPayload{
 			id: p.id, query: p.query, ttl: p.ttl - 1, hops: p.hops + 1,
 			path: append([]topology.NodeID{m.To}, p.path...),
 		})
@@ -264,7 +270,7 @@ func (s *Search) onQuery(nw *simnet.Network, m simnet.Message) {
 func (s *Search) onHit(nw *simnet.Network, m simnet.Message) {
 	p := m.Payload.(hitPayload)
 	if len(p.path) > 0 {
-		nw.Send(m.To, p.path[0], KindQueryHit, hitPayload{id: p.id, hit: p.hit, path: p.path[1:]})
+		nw.SendKind(m.To, p.path[0], kindQueryHitID, hitPayload{id: p.id, hit: p.hit, path: p.path[1:]})
 		return
 	}
 	if s.cur == nil || s.cur.id != p.id {
@@ -286,7 +292,7 @@ func (s *Search) Run(requestor topology.NodeID, query string, ttl int) []Hit {
 		}
 	}
 	for _, nb := range s.net.Graph().Neighbors(requestor) {
-		s.net.Send(requestor, nb, KindQuery, queryPayload{
+		s.net.SendKind(requestor, nb, kindQueryID, queryPayload{
 			id: st.id, query: query, ttl: ttl, hops: 1, path: []topology.NodeID{requestor},
 		})
 	}

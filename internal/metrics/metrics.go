@@ -1,0 +1,170 @@
+// Package metrics aggregates simulator performance telemetry: per-kind
+// delivery-latency and queueing-delay histograms (built on stats.Sample),
+// event-loop throughput, peak event-queue depth, and receiver busy time.
+//
+// A Sim implements simnet.Observer, so wiring is one call per Network
+// (simnet.SetObserver); one Sim can aggregate across every replica world of
+// an experiment run, which is how `hirepsim -metrics` reports a whole
+// regeneration. All methods are safe for concurrent use — replica worlds run
+// in parallel goroutines.
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"hirep/internal/simnet"
+	"hirep/internal/stats"
+)
+
+// maxSamplesPerKind bounds each histogram's memory: beyond it, new
+// observations still fold into the count and mean but no longer extend the
+// quantile sample (which then reflects the first maxSamplesPerKind
+// observations). Paper-scale runs replay a few hundred thousand messages per
+// kind; 1<<18 points keeps quantiles exact for a full figure regeneration at
+// 2 MiB per histogram worst case.
+const maxSamplesPerKind = 1 << 18
+
+// hist is one bounded histogram: a quantile sample plus a total-count
+// accumulator that keeps counting after the sample is full.
+type hist struct {
+	sample stats.Sample
+	acc    stats.Accum
+}
+
+func (h *hist) add(x float64) {
+	if h.sample.N() < maxSamplesPerKind {
+		h.sample.Add(x)
+	}
+	h.acc.Add(x)
+}
+
+// kindAgg is the per-kind pair of histograms.
+type kindAgg struct {
+	latency hist // send-to-handler delivery latency (virtual ms)
+	queued  hist // receiver-queueing delay within it (virtual ms)
+}
+
+// Sim aggregates telemetry from one or more simnet.Networks.
+type Sim struct {
+	mu        sync.Mutex
+	kinds     map[string]*kindAgg
+	runs      int64
+	events    int64
+	delivered int64
+	wall      float64
+	peakQueue int
+	busySumMs float64
+	busyMaxMs float64
+	nodes     int
+}
+
+// NewSim creates an empty aggregator.
+func NewSim() *Sim {
+	return &Sim{kinds: make(map[string]*kindAgg)}
+}
+
+// Delivery implements simnet.Observer.
+func (m *Sim) Delivery(kind string, latencyMs, queuedMs float64) {
+	m.mu.Lock()
+	k := m.kinds[kind]
+	if k == nil {
+		k = &kindAgg{}
+		m.kinds[kind] = k
+	}
+	k.latency.add(latencyMs)
+	k.queued.add(queuedMs)
+	m.mu.Unlock()
+}
+
+// RunDone implements simnet.Observer. Peak queue depth and busy time are
+// since-creation values per Network, so across networks the maxima are
+// aggregated rather than summed.
+func (m *Sim) RunDone(r simnet.RunStats) {
+	m.mu.Lock()
+	m.runs++
+	m.events += r.Events
+	m.delivered += r.Delivered
+	m.wall += r.WallSeconds
+	if r.PeakQueue > m.peakQueue {
+		m.peakQueue = r.PeakQueue
+	}
+	if r.BusySumMs > m.busySumMs {
+		m.busySumMs = r.BusySumMs
+	}
+	if r.BusyMaxMs > m.busyMaxMs {
+		m.busyMaxMs = r.BusyMaxMs
+	}
+	if r.Nodes > m.nodes {
+		m.nodes = r.Nodes
+	}
+	m.mu.Unlock()
+}
+
+// Events returns the total heap events processed across all observed Runs.
+func (m *Sim) Events() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Delivered returns the total messages handled across all observed Runs.
+func (m *Sim) Delivered() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered
+}
+
+// EventsPerSec returns event-loop throughput: events processed per wall-clock
+// second summed across Runs (0 when nothing ran).
+func (m *Sim) EventsPerSec() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wall == 0 {
+		return 0
+	}
+	return float64(m.events) / m.wall
+}
+
+// Summary renders the per-kind histograms as a table: observation count,
+// delivery-latency mean/P50/P99 and queueing-delay mean/P99, all virtual ms,
+// kinds sorted by name.
+func (m *Sim) Summary() *stats.Table {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := stats.NewTable("per-kind delivery metrics (virtual ms)",
+		"kind", "count", "lat-mean", "lat-p50", "lat-p99", "queue-mean", "queue-p99")
+	names := make([]string, 0, len(m.kinds))
+	for name := range m.kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k := m.kinds[name]
+		t.AddRow(name, k.latency.acc.N(),
+			k.latency.acc.Mean(), k.latency.sample.Quantile(0.5), k.latency.sample.Quantile(0.99),
+			k.queued.acc.Mean(), k.queued.sample.Quantile(0.99))
+	}
+	return t
+}
+
+// Overview renders the event-loop counters as a table: runs, events,
+// deliveries, wall time, throughput, peak queue depth, and receiver busy
+// time.
+func (m *Sim) Overview() *stats.Table {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := stats.NewTable("event-loop overview", "metric", "value")
+	t.AddRow("run calls", m.runs)
+	t.AddRow("events processed", m.events)
+	t.AddRow("messages delivered", m.delivered)
+	t.AddRow("wall seconds", m.wall)
+	if m.wall > 0 {
+		t.AddRow("events/sec", float64(m.events)/m.wall)
+	}
+	t.AddRow("peak event-queue depth", m.peakQueue)
+	t.AddRow("nodes (largest world)", m.nodes)
+	t.AddRow("busy time, total ms (max world)", m.busySumMs)
+	t.AddRow("busy time, max node ms", m.busyMaxMs)
+	return t
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hirep/internal/simnet"
+	"hirep/internal/topology"
+)
+
+func TestSimAggregates(t *testing.T) {
+	m := NewSim()
+	m.Delivery("a", 10, 2)
+	m.Delivery("a", 20, 4)
+	m.Delivery("b", 5, 0)
+	m.RunDone(simnet.RunStats{Events: 100, Delivered: 3, WallSeconds: 0.5, PeakQueue: 7, Nodes: 10, BusySumMs: 40, BusyMaxMs: 9})
+	m.RunDone(simnet.RunStats{Events: 50, Delivered: 1, WallSeconds: 0.5, PeakQueue: 3, Nodes: 10, BusySumMs: 20, BusyMaxMs: 12})
+
+	if got := m.Events(); got != 150 {
+		t.Fatalf("Events()=%d", got)
+	}
+	if got := m.Delivered(); got != 4 {
+		t.Fatalf("Delivered()=%d", got)
+	}
+	if got := m.EventsPerSec(); got != 150 {
+		t.Fatalf("EventsPerSec()=%v", got)
+	}
+	// Peaks/maxima aggregate as maxima across networks, not sums.
+	if m.peakQueue != 7 || m.busyMaxMs != 12 {
+		t.Fatalf("peak=%d busyMax=%v", m.peakQueue, m.busyMaxMs)
+	}
+
+	var sb strings.Builder
+	m.Summary().Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"a", "b", "lat-p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	m.Overview().Render(&sb)
+	if !strings.Contains(sb.String(), "events/sec") {
+		t.Fatalf("overview missing throughput row:\n%s", sb.String())
+	}
+}
+
+func TestHistBounded(t *testing.T) {
+	var h hist
+	for i := 0; i < maxSamplesPerKind+100; i++ {
+		h.add(float64(i))
+	}
+	if h.sample.N() != maxSamplesPerKind {
+		t.Fatalf("sample grew to %d, want cap %d", h.sample.N(), maxSamplesPerKind)
+	}
+	if h.acc.N() != maxSamplesPerKind+100 {
+		t.Fatalf("accumulator lost observations: N=%d", h.acc.N())
+	}
+}
+
+func TestEmptySimRenders(t *testing.T) {
+	m := NewSim()
+	if m.EventsPerSec() != 0 {
+		t.Fatal("empty throughput should be 0")
+	}
+	var sb strings.Builder
+	m.Summary().Render(&sb)
+	m.Overview().Render(&sb)
+	if math.IsNaN(m.busySumMs) {
+		t.Fatal("unexpected NaN")
+	}
+}
+
+// End-to-end: a Sim wired into a real Network observes every delivery.
+func TestSimObservesNetwork(t *testing.T) {
+	g := topology.NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(g, simnet.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewSim()
+	net.SetObserver(m)
+	net.SetHandler(1, func(*simnet.Network, simnet.Message) {})
+	for i := 0; i < 5; i++ {
+		net.Send(0, 1, "e2e", nil)
+	}
+	net.Run(0)
+	if got := m.Delivered(); got != 5 {
+		t.Fatalf("observed %d deliveries, want 5", got)
+	}
+	if m.kinds["e2e"] == nil || m.kinds["e2e"].latency.acc.N() != 5 {
+		t.Fatal("per-kind histogram not populated")
+	}
+}

@@ -27,6 +27,13 @@ const (
 	KindReport    = "rca/report"
 )
 
+// Interned kind IDs for the send fast path (simnet.InternKind).
+var (
+	kindQueryID     = simnet.InternKind(KindQuery)
+	kindQueryRespID = simnet.InternKind(KindQueryResp)
+	kindReportID    = simnet.InternKind(KindReport)
+)
+
 // Config parameterizes the centralized baseline.
 type Config struct {
 	// Server is the node hosting the RCA (defaults to node 0).
@@ -171,7 +178,7 @@ func (s *System) onQuery(nw *simnet.Network, m simnet.Message) {
 		// noise as any good agent before reports accumulate.
 		values[i] = s.cfg.Rating.Evaluate(true, s.oracle.Trustworthy(int(c)), s.srvRNG)
 	}
-	nw.Send(m.To, p.origin, KindQueryResp, respPayload{id: p.id, values: values})
+	nw.SendKind(m.To, p.origin, kindQueryRespID, respPayload{id: p.id, values: values})
 }
 
 func (s *System) onResp(nw *simnet.Network, m simnet.Message) {
@@ -205,7 +212,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 	s.nextID++
 	s.cur = &pending{id: s.nextID}
 	start := s.net.Now()
-	s.net.Send(requestor, s.cfg.Server, KindQuery, queryPayload{id: s.cur.id, origin: requestor, candidates: candidates})
+	s.net.SendKind(requestor, s.cfg.Server, kindQueryID, queryPayload{id: s.cur.id, origin: requestor, candidates: candidates})
 	s.net.Run(0)
 
 	res := TxResult{Requestor: requestor, Candidates: candidates, Estimates: make([]trust.Value, len(candidates))}
@@ -236,7 +243,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 		res.ResponseTime = s.cur.lastResp - start
 	}
 	s.cur = nil
-	s.net.Send(requestor, s.cfg.Server, KindReport, reportPayload{subject: res.Chosen, positive: res.Outcome})
+	s.net.SendKind(requestor, s.cfg.Server, kindReportID, reportPayload{subject: res.Chosen, positive: res.Outcome})
 	s.net.Run(0)
 	res.TrustMessages = s.net.Count(KindQuery) + s.net.Count(KindQueryResp) + s.net.Count(KindReport) - before
 	return res

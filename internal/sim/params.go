@@ -53,6 +53,11 @@ type Params struct {
 	Workers int
 	// Net is the delivery model (latency + queueing).
 	Net simnet.Config
+	// Metrics, when non-nil, receives delivery and event-loop telemetry
+	// from every replica world's network (see internal/metrics.Sim). The
+	// observer must be safe for concurrent use: replica worlds run in
+	// parallel goroutines.
+	Metrics simnet.Observer
 	// Hirep / Voting / TrustMe are the per-system protocol parameters.
 	Hirep   core.Config
 	Voting  voting.Config

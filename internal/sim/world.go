@@ -46,6 +46,9 @@ func buildWorld(p Params, model topology.Model, degree int, seed int64) (*World,
 	if err != nil {
 		return nil, err
 	}
+	if p.Metrics != nil {
+		net.SetObserver(p.Metrics)
+	}
 	oracle := trust.NewOracle(p.NetworkSize, p.TrustworthyFrac, rng.Split("oracle"))
 	w := &World{Graph: g, Net: net, Oracle: oracle, rng: rng}
 	pop := rng.Split("population")

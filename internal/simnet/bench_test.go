@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"testing"
+
+	"hirep/internal/topology"
+	"hirep/internal/xrand"
+)
+
+func benchNet(b *testing.B, n int) *Network {
+	b.Helper()
+	g, err := topology.Generate(topology.GenSpec{Model: topology.PowerLaw, N: n, AvgDegree: 4}, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := New(g, DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkSend measures the pure send path: counter accounting, loss draw,
+// latency lookup, and event-queue push. Drained in batches so the heap stays
+// at a realistic depth instead of growing to b.N.
+func BenchmarkSend(b *testing.B) {
+	const nodes = 256
+	net := benchNet(b, nodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SendBytes(topology.NodeID(i%nodes), topology.NodeID((i+7)%nodes), "bench/msg", nil, 64)
+		if i%1024 == 1023 {
+			b.StopTimer()
+			net.Run(0)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSendDeliver measures end-to-end event-loop throughput: send a
+// batch of messages into handlers and run the loop dry. The metric of record
+// is events (deliveries) per second, i.e. ns/op at batch granularity.
+func BenchmarkSendDeliver(b *testing.B) {
+	const nodes = 256
+	const batch = 1024
+	net := benchNet(b, nodes)
+	sink := 0
+	for i := 0; i < nodes; i++ {
+		net.SetHandler(topology.NodeID(i), func(_ *Network, m Message) { sink++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			net.SendBytes(topology.NodeID(j%nodes), topology.NodeID((j*31+i)%nodes), "bench/msg", nil, 64)
+		}
+		net.Run(0)
+	}
+	b.ReportMetric(float64(batch), "msgs/op")
+}
+
+// BenchmarkLatency measures the per-pair latency function alone.
+func BenchmarkLatency(b *testing.B) {
+	net := benchNet(b, 256)
+	b.ReportAllocs()
+	var acc Time
+	for i := 0; i < b.N; i++ {
+		acc += net.Latency(topology.NodeID(i%256), topology.NodeID((i*7+3)%256))
+	}
+	_ = acc
+}

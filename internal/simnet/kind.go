@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is an interned message-kind identifier. Kinds intern once, typically
+// into a package-level var next to the protocol's kind-name constants; the
+// send path then does per-kind accounting with a slice index instead of
+// hashing the kind string into counter maps on every message.
+//
+// The registry is process-global, so a Kind is valid across every Network
+// (replica worlds share the protocol packages' interned IDs).
+type Kind int32
+
+// kindRegistry is an append-only interning table with lock-free reads: the
+// name->id map and the id->name slice are copy-on-write snapshots behind
+// atomic.Values, so the hot path (String, lookupKind) never takes the mutex.
+var kindRegistry struct {
+	mu    sync.Mutex
+	index atomic.Value // map[string]Kind
+	names atomic.Value // []string
+}
+
+// InternKind returns the stable integer ID for a kind name, registering it on
+// first use. Safe for concurrent use; intended to run once per kind at
+// package init or system construction, not per message.
+func InternKind(name string) Kind {
+	if m, _ := kindRegistry.index.Load().(map[string]Kind); m != nil {
+		if k, ok := m[name]; ok {
+			return k
+		}
+	}
+	kindRegistry.mu.Lock()
+	defer kindRegistry.mu.Unlock()
+	m, _ := kindRegistry.index.Load().(map[string]Kind)
+	if k, ok := m[name]; ok {
+		return k
+	}
+	names, _ := kindRegistry.names.Load().([]string)
+	k := Kind(len(names))
+	next := make(map[string]Kind, len(m)+1)
+	for s, v := range m {
+		next[s] = v
+	}
+	next[name] = k
+	kindRegistry.index.Store(next)
+	kindRegistry.names.Store(append(append([]string(nil), names...), name))
+	return k
+}
+
+// lookupKind returns the interned ID for name, reporting false if the name
+// was never interned (in which case no counter can exist for it either).
+func lookupKind(name string) (Kind, bool) {
+	m, _ := kindRegistry.index.Load().(map[string]Kind)
+	k, ok := m[name]
+	return k, ok
+}
+
+// kindNames returns the current id->name snapshot.
+func kindNames() []string {
+	names, _ := kindRegistry.names.Load().([]string)
+	return names
+}
+
+// String returns the interned name.
+func (k Kind) String() string {
+	if names := kindNames(); k >= 0 && int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind#%d", int32(k))
+}

@@ -1,0 +1,208 @@
+package simnet
+
+import "hirep/internal/topology"
+
+// Event phases. A message in flight is an evArrival event while it
+// propagates; after arriving it lives in its receiver's service queue (an
+// evQueued record) until served. Timers (After/At) are evTimer events
+// carrying a closure.
+const (
+	evTimer uint8 = iota
+	evArrival
+	evQueued
+)
+
+// event is one scheduled occurrence's record, stored in the queue's slab.
+// Message deliveries are typed records — no per-send closure or heap
+// allocation. Records never move during heap sifts; only 24-byte keys do.
+type event struct {
+	kind  Kind   // message kind (delivery events)
+	epoch uint32 // counter window the message was sent in
+	phase uint8
+	from  topology.NodeID // sender (delivery events)
+	to    topology.NodeID // receiver (delivery events)
+	sent  Time            // virtual send instant (delivery events)
+	wait  Time            // arrival instant while queued; queueing delay once in service
+	load  any             // protocol payload (delivery events)
+	fn    func()          // timer callback (evTimer only)
+}
+
+// evKey is the heap element: the ordering fields plus the slab index of the
+// record. Sift operations move these 24-byte keys, not ~90-byte records.
+type evKey struct {
+	at  Time
+	seq uint64 // tie-break so same-time events run in schedule order
+	idx int32
+}
+
+// before orders keys by time, then schedule order.
+func (k evKey) before(o evKey) bool {
+	return k.at < o.at || (k.at == o.at && k.seq < o.seq)
+}
+
+// eventQueue is an indexed 4-ary min-heap holding timers and message
+// arrivals. Compared to container/heap over []*event it avoids the per-push
+// allocation and interface-call overhead; the higher branching factor halves
+// the depth per operation, and the key/slab split keeps sift traffic to 24
+// bytes per move. Service completions never enter the heap — because
+// ProcPerMsg is a single constant, they are scheduled exactly ProcPerMsg
+// ahead of a monotonically advancing clock and live in completionRing, an
+// O(1) FIFO.
+type eventQueue struct {
+	keys []evKey
+	slab []event
+	free []int32
+}
+
+func (q *eventQueue) len() int { return len(q.keys) }
+
+// alloc stores rec in the slab and returns its index.
+func (q *eventQueue) alloc(rec event) int32 {
+	if n := len(q.free); n > 0 {
+		idx := q.free[n-1]
+		q.free = q.free[:n-1]
+		q.slab[idx] = rec
+		return idx
+	}
+	q.slab = append(q.slab, rec)
+	return int32(len(q.slab) - 1)
+}
+
+// release returns a slab slot to the free list, dropping payload references
+// so they do not outlive their delivery.
+func (q *eventQueue) release(idx int32) {
+	q.slab[idx].load = nil
+	q.slab[idx].fn = nil
+	q.free = append(q.free, idx)
+}
+
+// push inserts a key, sifting a hole up instead of swapping.
+func (q *eventQueue) push(k evKey) {
+	h := append(q.keys, k)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !k.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = k
+	q.keys = h
+}
+
+// top returns the earliest key without removing it. Callers check len first.
+func (q *eventQueue) top() evKey { return q.keys[0] }
+
+// popTop removes the earliest key (already read via top).
+func (q *eventQueue) popTop() {
+	h := q.keys
+	last := len(h) - 1
+	h[0] = h[last]
+	q.keys = h[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+}
+
+func (q *eventQueue) siftDown(i int) {
+	h := q.keys
+	n := len(h)
+	k := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(k) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = k
+}
+
+// completion is one receiver-service completion: at its instant, the head of
+// node's service queue finishes processing and is delivered.
+type completion struct {
+	at   Time
+	seq  uint64
+	node int32
+}
+
+// completionRing is a growable circular FIFO of completions. Entries are
+// enqueued at now+ProcPerMsg under a monotonic clock, so the ring is always
+// time-ordered and both ends are O(1) — no heap involvement for the second
+// half of every message's life.
+type completionRing struct {
+	buf  []completion
+	head int
+	n    int
+}
+
+func (r *completionRing) push(c completion) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = c
+	r.n++
+}
+
+func (r *completionRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 256
+	}
+	next := make([]completion, size)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+func (r *completionRing) peek() completion { return r.buf[r.head] }
+
+func (r *completionRing) pop() completion {
+	c := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return c
+}
+
+// svcQueue is one receiver's arrival-order service queue: slab indices of
+// messages that have arrived and are waiting for (or occupying) the
+// receiver. The head entry is the message in service; it has a completion
+// scheduled in the ring.
+type svcQueue struct {
+	idxs []int32
+	head int
+}
+
+func (s *svcQueue) empty() bool { return s.head == len(s.idxs) }
+
+func (s *svcQueue) push(idx int32) { s.idxs = append(s.idxs, idx) }
+
+func (s *svcQueue) peekHead() int32 { return s.idxs[s.head] }
+
+func (s *svcQueue) pop() int32 {
+	v := s.idxs[s.head]
+	s.head++
+	if s.head == len(s.idxs) {
+		s.idxs = s.idxs[:0]
+		s.head = 0
+	}
+	return v
+}

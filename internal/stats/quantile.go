@@ -47,10 +47,12 @@ func (s *Sample) Quantile(q float64) float64 {
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
 }
 
-// Mean returns the sample mean (0 when empty).
+// Mean returns the sample mean. Like Min, Max, and Quantile, it returns NaN
+// on an empty sample: an absent measurement must not masquerade as a
+// legitimate observation of 0.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, x := range s.xs {
@@ -59,7 +61,7 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.xs))
 }
 
-// Min and Max return the sample extremes (NaN when empty).
+// Min returns the smallest observation (NaN when empty).
 func (s *Sample) Min() float64 { return s.Quantile(0) }
 
 // Max returns the largest observation (NaN when empty).

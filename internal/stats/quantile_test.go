@@ -32,12 +32,14 @@ func TestQuantileBasics(t *testing.T) {
 }
 
 func TestQuantileEmpty(t *testing.T) {
+	// Every empty-sample accessor answers NaN: an absent measurement must
+	// not masquerade as a legitimate observation of 0.
 	var s Sample
 	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
 		t.Fatal("empty sample should yield NaN")
 	}
-	if s.Mean() != 0 {
-		t.Fatal("empty mean should be 0")
+	if !math.IsNaN(s.Mean()) {
+		t.Fatal("empty mean should be NaN, consistent with Min/Max/Quantile")
 	}
 }
 

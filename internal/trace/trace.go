@@ -13,15 +13,19 @@ import (
 
 // Event is one traced occurrence.
 type Event struct {
-	At   float64 // virtual time (ms)
-	Kind string  // message kind
-	From int
-	To   int
+	At     float64 // virtual delivery time (ms)
+	Sent   float64 // virtual send time (ms)
+	Queued float64 // receiver-queueing delay within At-Sent (ms)
+	Kind   string  // message kind
+	From   int
+	To     int
 }
 
-// String renders the event compactly.
+// String renders the event compactly, including the in-flight time and the
+// portion of it spent queueing at the receiver.
 func (e Event) String() string {
-	return fmt.Sprintf("%10.2fms %-24s %4d -> %-4d", e.At, e.Kind, e.From, e.To)
+	return fmt.Sprintf("%10.2fms %-24s %4d -> %-4d  (%.2fms in flight, %.2fms queued)",
+		e.At, e.Kind, e.From, e.To, e.At-e.Sent, e.Queued)
 }
 
 // Ring is a bounded in-memory trace. The zero value is unusable; use New.
@@ -65,9 +69,10 @@ func KindPrefixFilter(prefixes ...string) func(Event) bool {
 }
 
 // Record adds an event (subject to the filter). It implements the
-// simnet.Tracer interface.
-func (r *Ring) Record(at float64, kind string, from, to int) {
-	e := Event{At: at, Kind: kind, From: from, To: to}
+// simnet.Tracer interface: at is the delivery instant, sent the send instant,
+// and queued the receiver-queueing delay, all in virtual ms.
+func (r *Ring) Record(at, sent, queued float64, kind string, from, to int) {
+	e := Event{At: at, Sent: sent, Queued: queued, Kind: kind, From: from, To: to}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.filter != nil && !r.filter(e) {

@@ -14,7 +14,7 @@ import (
 func TestRingRetainsMostRecent(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 7; i++ {
-		r.Record(float64(i), "k", i, i+1)
+		r.Record(float64(i), 0, 0, "k", i, i+1)
 	}
 	evs := r.Events()
 	if len(evs) != 3 {
@@ -32,8 +32,8 @@ func TestRingRetainsMostRecent(t *testing.T) {
 
 func TestRingPartialFill(t *testing.T) {
 	r := New(10)
-	r.Record(1, "a", 0, 1)
-	r.Record(2, "b", 1, 2)
+	r.Record(1, 0, 0, "a", 0, 1)
+	r.Record(2, 0, 0, "b", 1, 2)
 	evs := r.Events()
 	if len(evs) != 2 || evs[0].Kind != "a" || evs[1].Kind != "b" {
 		t.Fatalf("partial fill wrong: %v", evs)
@@ -43,9 +43,9 @@ func TestRingPartialFill(t *testing.T) {
 func TestRingFilter(t *testing.T) {
 	r := New(10)
 	r.SetFilter(KindPrefixFilter("hirep/"))
-	r.Record(1, "hirep/trust-req", 0, 1)
-	r.Record(2, "voting/trust-req", 1, 2)
-	r.Record(3, "hirep/report", 2, 3)
+	r.Record(1, 0, 0, "hirep/trust-req", 0, 1)
+	r.Record(2, 0, 0, "voting/trust-req", 1, 2)
+	r.Record(3, 0, 0, "hirep/report", 2, 3)
 	evs := r.Events()
 	if len(evs) != 2 {
 		t.Fatalf("filter kept %d", len(evs))
@@ -59,8 +59,8 @@ func TestRingFilter(t *testing.T) {
 
 func TestRingMinCapacity(t *testing.T) {
 	r := New(0)
-	r.Record(1, "a", 0, 1)
-	r.Record(2, "b", 0, 1)
+	r.Record(1, 0, 0, "a", 0, 1)
+	r.Record(2, 0, 0, "b", 0, 1)
 	evs := r.Events()
 	if len(evs) != 1 || evs[0].Kind != "b" {
 		t.Fatalf("cap-1 ring: %v", evs)
@@ -75,7 +75,7 @@ func TestRingConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				r.Record(float64(i), "k", g, i)
+				r.Record(float64(i), 0, 0, "k", g, i)
 			}
 		}(g)
 	}
@@ -90,7 +90,7 @@ func TestRingConcurrent(t *testing.T) {
 
 func TestDumpFormat(t *testing.T) {
 	r := New(4)
-	r.Record(12.5, "hirep/trust-req", 3, 9)
+	r.Record(12.5, 0, 0, "hirep/trust-req", 3, 9)
 	var buf bytes.Buffer
 	r.Dump(&buf)
 	out := buf.String()
@@ -124,12 +124,22 @@ func TestTracerWiredIntoSimnet(t *testing.T) {
 	if evs[1].At < evs[0].At {
 		t.Fatal("trace out of order")
 	}
+	// The delivery record decomposes: send instant plus in-flight time give
+	// the delivery instant, and queueing delay is bounded by the total.
+	for _, ev := range evs {
+		if ev.At <= ev.Sent {
+			t.Fatalf("delivery at %v not after send at %v", ev.At, ev.Sent)
+		}
+		if ev.Queued < 0 || ev.Queued > ev.At-ev.Sent {
+			t.Fatalf("queueing delay %v outside [0, %v]", ev.Queued, ev.At-ev.Sent)
+		}
+	}
 }
 
 func BenchmarkRingRecord(b *testing.B) {
 	r := New(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Record(float64(i), "hirep/trust-req", i&1023, (i+1)&1023)
+		r.Record(float64(i), 0, 0, "hirep/trust-req", i&1023, (i+1)&1023)
 	}
 }

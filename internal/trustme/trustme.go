@@ -29,6 +29,13 @@ const (
 	KindReport    = "trustme/report"
 )
 
+// Interned kind IDs for the send fast path (simnet.InternKind).
+var (
+	kindQueryID     = simnet.InternKind(KindQuery)
+	kindQueryRespID = simnet.InternKind(KindQueryResp)
+	kindReportID    = simnet.InternKind(KindReport)
+)
+
 // Config parameterizes the baseline.
 type Config struct {
 	// THAsPerPeer is how many trust-holding agents the bootstrap server
@@ -224,14 +231,14 @@ func (s *System) onQuery(nw *simnet.Network, m simnet.Message) {
 			continue
 		}
 		v := s.thaEstimate(m.To, c)
-		nw.Send(m.To, p.origin, KindQueryResp, queryRespPayload{pollID: p.pollID, tha: m.To, subject: c, value: v})
+		nw.SendKind(m.To, p.origin, kindQueryRespID, queryRespPayload{pollID: p.pollID, tha: m.To, subject: c, value: v})
 	}
 	if p.ttl <= 1 {
 		return
 	}
 	for _, nb := range s.net.Graph().Neighbors(m.To) {
 		if nb != m.From {
-			nw.Send(m.To, nb, KindQuery, queryPayload{pollID: p.pollID, origin: p.origin, candidates: p.candidates, ttl: p.ttl - 1})
+			nw.SendKind(m.To, nb, kindQueryID, queryPayload{pollID: p.pollID, origin: p.origin, candidates: p.candidates, ttl: p.ttl - 1})
 		}
 	}
 }
@@ -287,7 +294,7 @@ func (s *System) onReport(nw *simnet.Network, m simnet.Message) {
 	}
 	for _, nb := range s.net.Graph().Neighbors(m.To) {
 		if nb != m.From {
-			nw.Send(m.To, nb, KindReport, reportPayload{subject: p.subject, positive: p.positive, ttl: p.ttl - 1, floodID: p.floodID})
+			nw.SendKind(m.To, nb, kindReportID, reportPayload{subject: p.subject, positive: p.positive, ttl: p.ttl - 1, floodID: p.floodID})
 		}
 	}
 }
@@ -305,7 +312,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 	s.seen[poll.id] = map[topology.NodeID]bool{requestor: true}
 	start := s.net.Now()
 	for _, nb := range s.net.Graph().Neighbors(requestor) {
-		s.net.Send(requestor, nb, KindQuery, queryPayload{pollID: poll.id, origin: requestor, candidates: candidates, ttl: s.cfg.TTL})
+		s.net.SendKind(requestor, nb, kindQueryID, queryPayload{pollID: poll.id, origin: requestor, candidates: candidates, ttl: s.cfg.TTL})
 	}
 	s.net.Run(0)
 	s.cur = nil
@@ -344,7 +351,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 	s.nextID++
 	s.seen[s.nextID] = map[topology.NodeID]bool{requestor: true}
 	for _, nb := range s.net.Graph().Neighbors(requestor) {
-		s.net.Send(requestor, nb, KindReport, reportPayload{subject: res.Chosen, positive: res.Outcome, ttl: s.cfg.TTL, floodID: s.nextID})
+		s.net.SendKind(requestor, nb, kindReportID, reportPayload{subject: res.Chosen, positive: res.Outcome, ttl: s.cfg.TTL, floodID: s.nextID})
 	}
 	s.net.Run(0)
 	delete(s.seen, s.nextID)

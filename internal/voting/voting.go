@@ -27,6 +27,12 @@ const (
 	KindVoteResp = "voting/trust-resp"
 )
 
+// Interned kind IDs for the send fast path (simnet.InternKind).
+var (
+	kindVoteReqID  = simnet.InternKind(KindVoteReq)
+	kindVoteRespID = simnet.InternKind(KindVoteResp)
+)
+
 // Config parameterizes the baseline.
 type Config struct {
 	// TTL bounds the query flood (the paper uses 4 in simulation because of
@@ -201,7 +207,7 @@ func (s *System) onVoteReq(nw *simnet.Network, m simnet.Message) {
 		votes[i] = s.cfg.Rating.Evaluate(!s.malicious[m.To], s.oracle.Trustworthy(int(c)), s.voterRNGs[m.To])
 	}
 	resp := voteRespPayload{pollID: p.pollID, voter: m.To, votes: votes, path: p.path[1:]}
-	nw.SendBytes(m.To, p.path[0], KindVoteResp, resp, voteSize(len(votes), len(p.path)))
+	nw.SendKindBytes(m.To, p.path[0], kindVoteRespID, resp, voteSize(len(votes), len(p.path)))
 	// Forward while TTL lasts.
 	if p.ttl <= 1 {
 		return
@@ -217,7 +223,7 @@ func (s *System) onVoteReq(nw *simnet.Network, m simnet.Message) {
 			ttl:        p.ttl - 1,
 			path:       append([]topology.NodeID{m.To}, p.path...),
 		}
-		nw.SendBytes(m.To, nb, KindVoteReq, fwd, querySize(len(p.candidates), len(fwd.path)))
+		nw.SendKindBytes(m.To, nb, kindVoteReqID, fwd, querySize(len(p.candidates), len(fwd.path)))
 	}
 }
 
@@ -227,7 +233,7 @@ func (s *System) onVoteResp(nw *simnet.Network, m simnet.Message) {
 	p := m.Payload.(voteRespPayload)
 	if len(p.path) > 0 {
 		next := p.path[0]
-		nw.SendBytes(m.To, next, KindVoteResp, voteRespPayload{
+		nw.SendKindBytes(m.To, next, kindVoteRespID, voteRespPayload{
 			pollID: p.pollID, voter: p.voter, votes: p.votes, path: p.path[1:],
 		}, voteSize(len(p.votes), len(p.path)))
 		return
@@ -252,7 +258,7 @@ func (s *System) RunTransaction(requestor topology.NodeID, candidates []topology
 	s.seen[poll.id] = map[topology.NodeID]bool{requestor: true}
 	start := s.net.Now()
 	for _, nb := range s.net.Graph().Neighbors(requestor) {
-		s.net.SendBytes(requestor, nb, KindVoteReq, voteReqPayload{
+		s.net.SendKindBytes(requestor, nb, kindVoteReqID, voteReqPayload{
 			pollID:     poll.id,
 			origin:     requestor,
 			candidates: candidates,
