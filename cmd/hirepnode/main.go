@@ -5,6 +5,11 @@
 //
 //	hirepnode -listen 127.0.0.1:7001 -agent
 //
+// Give an agent a durable report store (internal/repstore WAL + snapshots in
+// the directory; reports survive restarts, and Ctrl-C flushes a snapshot):
+//
+//	hirepnode -listen 127.0.0.1:7001 -agent -store /var/lib/hirep
+//
 // Publish an agent descriptor through a set of relays (run on the agent):
 //
 //	hirepnode -listen 127.0.0.1:7001 -agent -relays 127.0.0.1:7002,127.0.0.1:7003
@@ -32,6 +37,7 @@ func main() {
 	var (
 		listen = flag.String("listen", "127.0.0.1:0", "listen address")
 		agent  = flag.Bool("agent", false, "serve as a reputation agent")
+		store  = flag.String("store", "", "durable report store directory (agents only; empty = in-memory)")
 		relays = flag.String("relays", "", "comma-separated relay addresses to publish an onion through")
 		demo   = flag.Bool("demo", false, "run the loopback demonstration fleet and exit")
 	)
@@ -44,8 +50,12 @@ func main() {
 		}
 		return
 	}
+	if *store != "" && !*agent {
+		fmt.Fprintln(os.Stderr, "hirepnode: -store requires -agent")
+		os.Exit(2)
+	}
 
-	n, err := node.Listen(*listen, node.Options{Agent: *agent})
+	n, err := node.Listen(*listen, node.Options{Agent: *agent, StoreDir: *store})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -54,6 +64,9 @@ func main() {
 	role := "relay"
 	if *agent {
 		role = "reputation agent"
+		if *store != "" {
+			role = "reputation agent, durable store in " + *store
+		}
 	}
 	fmt.Printf("hirep node %s (%s) listening on %s\n", n.ID().Short(), role, n.Addr())
 
@@ -75,6 +88,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Printf("shutting down; %s\n", n.Stats())
+	// Graceful shutdown: drain in-flight handlers and flush the report store
+	// (snapshot + WAL release) before exiting.
+	if err := n.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		os.Exit(1)
+	}
 }
 
 // hirepBookFor discovers agents for a node and fills a fresh trusted-agent

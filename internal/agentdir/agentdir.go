@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"hirep/internal/pkc"
+	"hirep/internal/repstore"
 	"hirep/internal/trust"
 )
 
@@ -81,36 +82,51 @@ func parseReportWire(b []byte) (subject pkc.NodeID, positive bool, nonce pkc.Non
 	return subject, positive, nonce, b[:bodyLen], b[bodyLen:], nil
 }
 
-// tally accumulates report outcomes for one subject.
-type tally struct {
-	positive int
-	negative int
-}
-
 // Agent is a trusted reputation agent. Safe for concurrent use (the live
-// node serves many peers at once).
+// node serves many peers at once). Report/tally state lives in a
+// repstore.Store — sharded in memory for the simulator, WAL-backed on disk
+// for the live node — while the public key list and replay cache stay here.
 type Agent struct {
 	mu      sync.RWMutex
 	self    *pkc.Identity
 	keys    map[pkc.NodeID]ed25519.PublicKey
-	tallies map[pkc.NodeID]tally
-	reports int
+	store   *repstore.Store
 	replays *pkc.ReplayCache
 }
 
-// New creates an agent with identity self. replayCap bounds the nonce replay
-// cache (0 picks a default of 4096).
+// New creates an agent with identity self backed by a pure in-memory store.
+// replayCap bounds the nonce replay cache (0 picks a default of 4096).
 func New(self *pkc.Identity, replayCap int) *Agent {
+	st, _ := repstore.Open("", repstore.Options{}) // in-memory open cannot fail
+	return NewWithStore(self, replayCap, st)
+}
+
+// NewWithStore creates an agent delegating report state to store — the
+// durable path for live nodes. Nonces recovered from the store's WAL tail
+// re-seed the replay cache, so a restart does not reopen the replay window
+// for the most recent reports.
+func NewWithStore(self *pkc.Identity, replayCap int, store *repstore.Store) *Agent {
 	if replayCap <= 0 {
 		replayCap = 4096
 	}
-	return &Agent{
+	a := &Agent{
 		self:    self,
 		keys:    make(map[pkc.NodeID]ed25519.PublicKey),
-		tallies: make(map[pkc.NodeID]tally),
+		store:   store,
 		replays: pkc.NewReplayCache(replayCap),
 	}
+	for _, n := range store.RecoveredNonces() {
+		a.replays.Observe(n)
+	}
+	return a
 }
+
+// Store exposes the agent's backing report store.
+func (a *Agent) Store() *repstore.Store { return a.store }
+
+// Close flushes and releases the backing store (a no-op for the in-memory
+// backend).
+func (a *Agent) Close() error { return a.store.Close() }
 
 // ID returns the agent's node ID.
 func (a *Agent) ID() pkc.NodeID { return a.self.ID }
@@ -153,26 +169,25 @@ func (a *Agent) SubmitReport(reporter pkc.NodeID, wire []byte) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
 	sp, ok := a.keys[reporter]
+	a.mu.RUnlock()
 	if !ok {
 		return Report{}, ErrUnknownReporter
 	}
+	// Signature verification and the store append both run outside the key
+	// lock: the hot ingest path scales across shards instead of serializing
+	// on one agent mutex.
 	if !pkc.Verify(sp, body, sig) {
 		return Report{}, ErrBadSignature
 	}
 	if !a.replays.Observe(nonce) {
 		return Report{}, ErrReplayedReport
 	}
-	t := a.tallies[subject]
-	if positive {
-		t.positive++
-	} else {
-		t.negative++
+	rec := repstore.Record{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}
+	if err := a.store.Append(rec); err != nil {
+		return Report{}, err
 	}
-	a.tallies[subject] = t
-	a.reports++
 	return Report{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}, nil
 }
 
@@ -197,13 +212,10 @@ func (a *Agent) ApplyKeyUpdate(wire []byte) (pkc.KeyUpdate, error) {
 	}
 	delete(a.keys, upd.OldID)
 	a.keys[upd.NewID] = upd.NewSP
-	if t, ok := a.tallies[upd.OldID]; ok {
-		// Merge into any existing tally for the new ID (normally empty).
-		nt := a.tallies[upd.NewID]
-		nt.positive += t.positive
-		nt.negative += t.negative
-		a.tallies[upd.NewID] = nt
-		delete(a.tallies, upd.OldID)
+	// Tallies about the old nodeID migrate in the store (durably, when the
+	// store is WAL-backed).
+	if err := a.store.Merge(upd.OldID, upd.NewID); err != nil {
+		return pkc.KeyUpdate{}, err
 	}
 	return upd, nil
 }
@@ -212,35 +224,22 @@ func (a *Agent) ApplyKeyUpdate(wire []byte) (pkc.KeyUpdate, error) {
 // the Laplace-smoothed positive fraction (p+1)/(p+n+2). ok is false when the
 // agent has no report about the subject and therefore no opinion.
 func (a *Agent) TrustValue(subject pkc.NodeID) (trust.Value, bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	t, ok := a.tallies[subject]
-	if !ok || t.positive+t.negative == 0 {
-		return 0, false
-	}
-	return trust.Value(float64(t.positive+1) / float64(t.positive+t.negative+2)), true
+	return a.store.TrustValue(subject)
 }
 
 // ReportCount returns the total number of accepted reports.
-func (a *Agent) ReportCount() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.reports
-}
+func (a *Agent) ReportCount() int { return a.store.ReportCount() }
 
 // SubjectCount returns how many distinct subjects have reports.
-func (a *Agent) SubjectCount() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return len(a.tallies)
-}
+func (a *Agent) SubjectCount() int { return a.store.SubjectCount() }
 
 // String summarizes the agent for logs.
 func (a *Agent) String() string {
 	a.mu.RLock()
-	defer a.mu.RUnlock()
+	nkeys := len(a.keys)
+	a.mu.RUnlock()
 	return fmt.Sprintf("agent %s: %d keys, %d reports on %d subjects",
-		a.self.ID.Short(), len(a.keys), a.reports, len(a.tallies))
+		a.self.ID.Short(), nkeys, a.store.ReportCount(), a.store.SubjectCount())
 }
 
 // DecodeNonceHint extracts the nonce from a signed report without verifying

@@ -225,3 +225,50 @@ func TestStringSummary(t *testing.T) {
 		t.Fatal("empty summary")
 	}
 }
+
+// TestReplayCapOverflowKeepsRecentNonces audits the replay-nonce cache at
+// replayCap overflow: a nonce that was recently REJECTED as a replay must
+// keep being rejected even after enough fresh reports arrive to overflow the
+// cache — eviction follows observation recency, not first-insertion order.
+func TestReplayCapOverflowKeepsRecentNonces(t *testing.T) {
+	const cap = 8
+	a := New(ident(t), cap)
+	rep := ident(t)
+	if err := a.RegisterKey(rep.ID, rep.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	subject := ident(t)
+
+	// Fill the cache to capacity.
+	wires := make([][]byte, cap)
+	for i := range wires {
+		wires[i] = SignReport(rep, subject.ID, true, nonce(t))
+		if _, err := a.SubmitReport(rep.ID, wires[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An attacker replays the oldest report; it must be rejected, and the
+	// rejection refreshes its recency.
+	if _, err := a.SubmitReport(rep.ID, wires[0]); !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+	// Fresh reports overflow the cache (evicting cap-1 others), after which
+	// the just-replayed wire must STILL be rejected.
+	for i := 0; i < cap-1; i++ {
+		if _, err := a.SubmitReport(rep.ID, SignReport(rep, subject.ID, true, nonce(t))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.ReportCount()
+	if _, err := a.SubmitReport(rep.ID, wires[0]); !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("recently-replayed report re-accepted after overflow: %v", err)
+	}
+	if a.ReportCount() != before {
+		t.Fatal("replayed report was double-counted")
+	}
+	// The truly least-recently-observed nonce (wires[1]) is the legitimate
+	// eviction victim — the bounded cache forgets it.
+	if _, err := a.SubmitReport(rep.ID, wires[1]); err != nil {
+		t.Fatalf("evicted nonce should be forgotten (bounded-cache semantics): %v", err)
+	}
+}

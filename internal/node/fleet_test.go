@@ -1,6 +1,8 @@
 package node
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -119,6 +121,111 @@ func TestFullFleetLifecycle(t *testing.T) {
 	if len(removed) != 0 {
 		t.Fatalf("consistent agents were removed: %v", removed)
 	}
+}
+
+// TestAgentRestartRecoversStore kills the agent mid-run and reopens a node
+// against the same store directory: queried trust values and report counts
+// must survive. The "kill" is honest — the store directory is cloned
+// byte-for-byte BEFORE the graceful close, so the reopened agent sees only
+// what the WAL's group commit had made durable, not a shutdown snapshot.
+func TestAgentRestartRecoversStore(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "agent-store")
+	agentNode, err := Listen("127.0.0.1:0", Options{Agent: true, Timeout: 4 * time.Second, StoreDir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := fleet(t, 2, 0)
+	peer, relay := plain[0], plain[1]
+
+	agentOnion, err := agentNode.BuildOnion(fetchRoute(t, agentNode, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := agentNode.Info(agentOnion)
+	subject, err := pkc.NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerOnion, err := peer.BuildOnion(fetchRoute(t, peer, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Introduce the peer (registers its key), then file 4 positive and 1
+	// negative report.
+	if _, _, err := peer.RequestTrust(info, subject.ID, peerOnion); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := peer.ReportTransaction(info, subject.ID, i != 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return agentNode.Agent().ReportCount() == 5 })
+	wantTrust, ok := agentNode.Agent().TrustValue(subject.ID)
+	if !ok {
+		t.Fatal("agent has no opinion before the kill")
+	}
+
+	// Kill: clone the store dir as-is (ReportCount is only visible after the
+	// WAL batch landed, so the clone must contain all 5 reports), then shut
+	// the old process down.
+	crashDir := filepath.Join(t.TempDir(), "recovered-store")
+	if err := os.MkdirAll(crashDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(storeDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := agentNode.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen against the crash image. The node has a fresh identity — state
+	// is keyed by subject, not by the agent — and must serve the recovered
+	// values, both directly and over the live protocol.
+	revived, err := Listen("127.0.0.1:0", Options{Agent: true, Timeout: 4 * time.Second, StoreDir: crashDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = revived.Close() })
+	if got := revived.Agent().ReportCount(); got != 5 {
+		t.Fatalf("recovered ReportCount = %d, want 5", got)
+	}
+	got, ok := revived.Agent().TrustValue(subject.ID)
+	if !ok || got != wantTrust {
+		t.Fatalf("recovered trust = %v (ok=%v), want %v", got, ok, wantTrust)
+	}
+	revivedOnion, err := revived.BuildOnion(fetchRoute(t, revived, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerOnion2, err := peer.BuildOnion(fetchRoute(t, peer, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, hasData, err := peer.RequestTrust(revived.Info(revivedOnion), subject.ID, peerOnion2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasData || v != wantTrust {
+		t.Fatalf("live query after restart = %v (hasData=%v), want %v", v, hasData, wantTrust)
+	}
+	// And the revived agent keeps accepting new reports on top of the
+	// recovered state.
+	if err := peer.ReportTransaction(revived.Info(revivedOnion), subject.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return revived.Agent().ReportCount() == 6 })
 }
 
 // TestStatsCounters checks the observability counters across a simple

@@ -23,6 +23,7 @@ import (
 	"hirep/internal/agentdir"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/repstore"
 	"hirep/internal/trust"
 	"hirep/internal/wire"
 )
@@ -42,6 +43,11 @@ type Options struct {
 	Agent bool
 	// Timeout bounds dials and request waits (default 5s).
 	Timeout time.Duration
+	// StoreDir, when non-empty and Agent is set, backs the agent's report
+	// state with the durable WAL store in that directory (internal/repstore):
+	// accepted reports survive restarts, and Close flushes a snapshot.
+	// Empty keeps the in-memory store.
+	StoreDir string
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -153,7 +159,16 @@ func Listen(addr string, opts Options) (*Node, error) {
 		pending: make(map[pkc.Nonce]chan trustResponse),
 	}
 	if opts.Agent {
-		n.agent = agentdir.New(id, 0)
+		if opts.StoreDir != "" {
+			st, err := repstore.Open(opts.StoreDir, repstore.Options{})
+			if err != nil {
+				ln.Close()
+				return nil, fmt.Errorf("node: open report store: %w", err)
+			}
+			n.agent = agentdir.NewWithStore(id, 0, st)
+		} else {
+			n.agent = agentdir.New(id, 0)
+		}
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -175,7 +190,8 @@ func (n *Node) AnonPublic() *ecdh.PublicKey { return n.identity().Anon.Public }
 // Agent returns the node's agent state (nil for non-agents), for inspection.
 func (n *Node) Agent() *agentdir.Agent { return n.agent }
 
-// Close shuts the node down and waits for in-flight handlers.
+// Close shuts the node down, waits for in-flight handlers, and flushes the
+// agent's report store (snapshot + WAL release) when one is attached.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -186,6 +202,11 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	err := n.ln.Close()
 	n.wg.Wait()
+	if n.agent != nil {
+		if serr := n.agent.Close(); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 

@@ -29,15 +29,28 @@ func NewNonce(r io.Reader) (Nonce, error) {
 func (n Nonce) Uint64() uint64 { return binary.LittleEndian.Uint64(n[:8]) }
 
 // ReplayCache remembers recently seen nonces so a replayed handshake or
-// report is rejected. It holds at most cap entries, evicting the oldest
-// (FIFO) — matching the paper's assumption that replays arrive close to the
-// original. The zero value is unusable; use NewReplayCache.
+// report is rejected. It holds at most cap nonces, evicting the
+// least-recently-OBSERVED: re-seeing a nonce (i.e. an attempted replay)
+// refreshes its position, so an attacker hammering a stolen message cannot
+// wait for its nonce to age out of a FIFO window — each attempt pushes the
+// nonce back to the front. The zero value is unusable; use NewReplayCache.
 type ReplayCache struct {
-	mu    sync.Mutex
-	cap   int
-	seen  map[Nonce]struct{}
-	order []Nonce
+	mu   sync.Mutex
+	cap  int
+	seen map[Nonce]uint64 // nonce -> seq of its latest observation
+	// order is the observation queue. Refreshing a nonce appends a new
+	// entry and strands the old one; stale entries (seq no longer current in
+	// seen) are skipped lazily during eviction and swept when the slice
+	// outgrows 2×cap, so memory stays O(cap) amortized.
+	order []replayEntry
 	head  int
+	seq   uint64
+}
+
+// replayEntry is one observation in the recency queue.
+type replayEntry struct {
+	n   Nonce
+	seq uint64
 }
 
 // NewReplayCache returns a cache bounded to capacity entries (minimum 1).
@@ -46,33 +59,43 @@ func NewReplayCache(capacity int) *ReplayCache {
 		capacity = 1
 	}
 	return &ReplayCache{
-		cap:   capacity,
-		seen:  make(map[Nonce]struct{}, capacity),
-		order: make([]Nonce, 0, capacity),
+		cap:  capacity,
+		seen: make(map[Nonce]uint64, capacity),
 	}
 }
 
 // Observe records n. It returns false if n was already present — i.e. the
-// message is a replay — and true if n is fresh. Safe for concurrent use.
+// message is a replay — and true if n is fresh. Either way n becomes the
+// most recently observed nonce. Safe for concurrent use.
 func (c *ReplayCache) Observe(n Nonce) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.seen[n]; dup {
-		return false
-	}
-	if len(c.order)-c.head >= c.cap {
-		old := c.order[c.head]
-		delete(c.seen, old)
-		c.head++
-		// Compact the ring occasionally so the slice doesn't grow unbounded.
-		if c.head > c.cap {
-			c.order = append(c.order[:0], c.order[c.head:]...)
-			c.head = 0
+	_, dup := c.seen[n]
+	c.seq++
+	c.seen[n] = c.seq
+	c.order = append(c.order, replayEntry{n: n, seq: c.seq})
+	if !dup {
+		// Evict the least-recently-observed live nonce, skipping entries
+		// stranded by refreshes.
+		for len(c.seen) > c.cap {
+			e := c.order[c.head]
+			c.head++
+			if s, ok := c.seen[e.n]; ok && s == e.seq {
+				delete(c.seen, e.n)
+			}
 		}
 	}
-	c.seen[n] = struct{}{}
-	c.order = append(c.order, n)
-	return true
+	// Sweep: rebuild the queue from live entries once stale ones dominate.
+	if len(c.order)-c.head >= 2*c.cap {
+		live := make([]replayEntry, 0, len(c.seen))
+		for _, e := range c.order[c.head:] {
+			if s, ok := c.seen[e.n]; ok && s == e.seq {
+				live = append(live, e)
+			}
+		}
+		c.order, c.head = live, 0
+	}
+	return !dup
 }
 
 // Len returns the number of nonces currently remembered.

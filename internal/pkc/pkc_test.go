@@ -244,6 +244,55 @@ func TestReplayCacheConcurrent(t *testing.T) {
 	}
 }
 
+func TestReplayCacheRefreshOnReplay(t *testing.T) {
+	// A replay attempt refreshes the nonce's recency: an attacker replaying
+	// a stolen message cannot simply wait for the nonce to age out of a FIFO
+	// window, because each attempt pushes it back to the front of the queue.
+	c := NewReplayCache(4)
+	var ns []Nonce
+	for i := 0; i < 4; i++ {
+		n, _ := NewNonce(nil)
+		ns = append(ns, n)
+		c.Observe(n)
+	}
+	if c.Observe(ns[0]) {
+		t.Fatal("replayed nonce accepted")
+	}
+	// Three fresh nonces overflow the cache three times. The eviction order
+	// must be ns[1], ns[2], ns[3] — ns[0] was re-observed most recently.
+	for i := 0; i < 3; i++ {
+		n, _ := NewNonce(nil)
+		if !c.Observe(n) {
+			t.Fatal("fresh nonce rejected")
+		}
+	}
+	if c.Observe(ns[0]) {
+		t.Fatal("recently-replayed nonce was evicted ahead of older ones")
+	}
+	if !c.Observe(ns[1]) {
+		t.Fatal("least-recently-observed nonce survived eviction")
+	}
+}
+
+func TestReplayCacheDupFloodBounded(t *testing.T) {
+	// Replaying the same nonce forever must not grow memory: stranded queue
+	// entries are swept, keeping the queue O(cap).
+	c := NewReplayCache(8)
+	n, _ := NewNonce(nil)
+	c.Observe(n)
+	for i := 0; i < 10_000; i++ {
+		if c.Observe(n) {
+			t.Fatal("replay accepted")
+		}
+		if live := len(c.order) - c.head; live > 2*c.cap {
+			t.Fatalf("queue grew to %d live entries (cap %d)", live, c.cap)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d nonces, want 1", c.Len())
+	}
+}
+
 func TestReplayCacheMinimumCapacity(t *testing.T) {
 	c := NewReplayCache(0)
 	n1, _ := NewNonce(nil)

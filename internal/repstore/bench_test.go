@@ -1,0 +1,75 @@
+package repstore
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// benchRecord makes ingest benchmarks cheap to vary: reporter and subject
+// cycle through small deterministic pools so shard and map behaviour is
+// realistic without per-iteration hashing in the loop.
+func benchRecord(i int) Record {
+	return Record{
+		Reporter: nid(i & 63),
+		Subject:  nid(1000 + i&1023),
+		Positive: i&3 != 0,
+		Nonce:    nnc(i),
+	}
+}
+
+// BenchmarkRepstoreIngest measures concurrent Append throughput: the memory
+// backend (simulator path), the WAL without fsync (OS-crash durability), and
+// the full fsync group-commit path.
+func BenchmarkRepstoreIngest(b *testing.B) {
+	run := func(b *testing.B, dir string, opts Options) {
+		s, err := Open(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		var ctr atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(ctr.Add(1))
+				if err := s.Append(benchRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("mem", func(b *testing.B) {
+		run(b, "", Options{})
+	})
+	b.Run("wal", func(b *testing.B) {
+		run(b, b.TempDir(), Options{NoSync: true, CompactAfter: -1})
+	})
+	b.Run("wal-fsync", func(b *testing.B) {
+		run(b, b.TempDir(), Options{CompactAfter: -1})
+	})
+}
+
+// BenchmarkRepstoreQuery measures concurrent TrustValue reads against a
+// store preloaded with 64k reports over 1k subjects.
+func BenchmarkRepstoreQuery(b *testing.B) {
+	s, err := Open("", Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 1<<16; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(ctr.Add(1))
+			if _, ok := s.TrustValue(nid(1000 + i&1023)); !ok {
+				b.Fatal("missing subject")
+			}
+		}
+	})
+}

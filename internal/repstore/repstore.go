@@ -1,0 +1,423 @@
+// Package repstore is the reputation-agent storage engine: the state a
+// hiREP agent accumulates from signed transaction reports (§3.5.3), built to
+// sustain the paper's premise that agents absorb the report/query load of
+// the whole network.
+//
+// Layout:
+//
+//   - Subject state lives in power-of-two in-memory shards keyed by subject
+//     pkc.NodeID, each under its own RWMutex, so concurrent ingest and query
+//     spread across locks instead of serializing on one agent mutex.
+//   - Each subject keeps a rolling positive/negative tally plus a
+//     per-reporter breakdown, so ballot-stuffing analysis (how many distinct
+//     reporters back an opinion) never needs a log scan.
+//   - Durability (optional — Open with a directory) is an append-only WAL of
+//     CRC32C-framed records with group commit: concurrent appends ride one
+//     write+fsync. A record is applied to the shards only after its batch is
+//     durable, so observed state never runs ahead of the log.
+//   - The WAL is periodically folded into an atomic snapshot (write tmp,
+//     fsync, rename) and truncated; recovery = load snapshot + replay the
+//     WAL tail, truncating at the first torn or corrupt frame.
+//
+// Open with dir == "" for the pure in-memory backend (the simulator and
+// default live node); give a directory for the durable agent store.
+package repstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"hirep/internal/pkc"
+	"hirep/internal/trust"
+)
+
+// Errors returned by the store.
+var (
+	ErrClosed            = errors.New("repstore: closed")
+	ErrCorruptRecord     = errors.New("repstore: corrupt record")
+	ErrCorruptSnapshot   = errors.New("repstore: corrupt snapshot")
+	ErrRecordTooLarge    = errors.New("repstore: record exceeds frame limit")
+	ErrShortFrame        = errors.New("repstore: truncated frame")
+	errUnknownRecordKind = errors.New("repstore: unknown record kind")
+)
+
+// Options tunes a store.
+type Options struct {
+	// Shards is the shard count, rounded up to a power of two (default 16).
+	Shards int
+	// NoSync skips the fsync in group commit. Appends are still written to
+	// the OS immediately; a machine crash (not just a process crash) can
+	// lose the tail. Meant for tests and benchmarks.
+	NoSync bool
+	// CompactAfter triggers an automatic snapshot + WAL truncation once the
+	// log exceeds this many bytes. 0 picks the default (4 MiB); negative
+	// disables auto-compaction.
+	CompactAfter int64
+}
+
+const defaultCompactAfter = 4 << 20
+
+// Record is one accepted transaction report, the unit of ingest.
+type Record struct {
+	Reporter pkc.NodeID
+	Subject  pkc.NodeID
+	Positive bool
+	// Nonce is the report's replay nonce. The store persists it so an agent
+	// reopening the WAL can re-seed its replay cache with the tail's nonces.
+	Nonce pkc.Nonce
+}
+
+// reporterTally is one reporter's contribution to a subject.
+type reporterTally struct {
+	pos, neg uint32
+}
+
+// subjectState is everything known about one subject.
+type subjectState struct {
+	pos, neg  int
+	reporters map[pkc.NodeID]reporterTally
+}
+
+// shard is one lock domain of the subject table.
+type shard struct {
+	mu       sync.RWMutex
+	subjects map[pkc.NodeID]*subjectState
+}
+
+// Store is the reputation storage engine. Safe for concurrent use.
+type Store struct {
+	opts   Options
+	mask   uint64
+	shards []shard
+
+	// applyMu serializes snapshots against in-flight mutations: Append and
+	// Merge hold it for read across WAL commit + shard apply, Snapshot holds
+	// it for write, so a snapshot always captures a state equal to a WAL
+	// prefix with no pending bytes.
+	applyMu sync.RWMutex
+
+	reports    atomic.Int64
+	closed     atomic.Bool
+	compacting atomic.Bool
+
+	dir       string // "" for memory-only
+	wal       *wal   // nil for memory-only
+	recovered []pkc.Nonce
+}
+
+// Open creates or reopens a store. dir == "" selects the pure in-memory
+// backend; otherwise dir is created if needed, any snapshot is loaded, and
+// the WAL tail is replayed (truncating at the first torn frame).
+func Open(dir string, opts Options) (*Store, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	for n&(n-1) != 0 {
+		n &= n - 1
+		n <<= 1
+	}
+	s := &Store{opts: opts, mask: uint64(n - 1), shards: make([]shard, n), dir: dir}
+	for i := range s.shards {
+		s.shards[i].subjects = make(map[pkc.NodeID]*subjectState)
+	}
+	if opts.CompactAfter == 0 {
+		s.opts.CompactAfter = defaultCompactAfter
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repstore: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	w, ops, err := openWAL(filepath.Join(dir, walName), opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range ops {
+		s.applyOp(op)
+		if op.kind == kindReport {
+			s.recovered = append(s.recovered, op.rec.Nonce)
+		}
+	}
+	w.apply = s.applyOps
+	s.wal = w
+	return s, nil
+}
+
+// Memory reports whether the store is the in-memory backend (no WAL).
+func (s *Store) Memory() bool { return s.wal == nil }
+
+// Dir returns the store directory ("" for the in-memory backend).
+func (s *Store) Dir() string { return s.dir }
+
+// RecoveredNonces returns the report nonces replayed from the WAL tail at
+// Open, in log order. An agent uses them to re-seed its replay cache so a
+// restart does not reopen the replay window for recent reports.
+func (s *Store) RecoveredNonces() []pkc.Nonce {
+	out := make([]pkc.Nonce, len(s.recovered))
+	copy(out, s.recovered)
+	return out
+}
+
+// shardFor picks the shard owning a subject. NodeIDs are SHA-1 digests, so
+// the leading bytes are already uniform.
+func (s *Store) shardFor(subject pkc.NodeID) *shard {
+	return &s.shards[binary.LittleEndian.Uint64(subject[:8])&s.mask]
+}
+
+func (s *Store) shardIndex(subject pkc.NodeID) uint64 {
+	return binary.LittleEndian.Uint64(subject[:8]) & s.mask
+}
+
+// Append ingests one report. With a WAL it returns only after the record's
+// group-commit batch is durable and applied; the in-memory view never shows
+// records the log does not hold.
+func (s *Store) Append(r Record) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.applyMu.RLock()
+	var err error
+	if s.wal == nil {
+		s.applyOp(walOp{kind: kindReport, rec: r})
+	} else {
+		err = s.wal.commit(walOp{kind: kindReport, rec: r})
+	}
+	s.applyMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// Merge folds the state recorded about oldID into newID — the durable half
+// of a §3.5 key rotation ("map and replace an old nodeid to a new nodeid").
+// The operation is logged, so replay reproduces it in order.
+func (s *Store) Merge(oldID, newID pkc.NodeID) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.applyMu.RLock()
+	var err error
+	op := walOp{kind: kindMerge, oldID: oldID, newID: newID}
+	if s.wal == nil {
+		s.applyOp(op)
+	} else {
+		err = s.wal.commit(op)
+	}
+	s.applyMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// applyOps applies a durable batch to the shards, in batch order. Called by
+// the WAL group-commit leader after the batch is on disk.
+func (s *Store) applyOps(ops []walOp) {
+	for i := range ops {
+		s.applyOp(ops[i])
+	}
+}
+
+// applyOp applies one operation to the in-memory state.
+func (s *Store) applyOp(op walOp) {
+	switch op.kind {
+	case kindReport:
+		r := op.rec
+		sh := s.shardFor(r.Subject)
+		sh.mu.Lock()
+		st := sh.subjects[r.Subject]
+		if st == nil {
+			st = &subjectState{reporters: make(map[pkc.NodeID]reporterTally, 1)}
+			sh.subjects[r.Subject] = st
+		}
+		rt := st.reporters[r.Reporter]
+		if r.Positive {
+			st.pos++
+			rt.pos++
+		} else {
+			st.neg++
+			rt.neg++
+		}
+		st.reporters[r.Reporter] = rt
+		sh.mu.Unlock()
+		s.reports.Add(1)
+	case kindMerge:
+		s.applyMerge(op.oldID, op.newID)
+	}
+}
+
+// applyMerge moves oldID's subject state into newID, locking at most two
+// shards in index order to stay deadlock-free.
+func (s *Store) applyMerge(oldID, newID pkc.NodeID) {
+	if oldID == newID {
+		return
+	}
+	i, j := s.shardIndex(oldID), s.shardIndex(newID)
+	si, sj := &s.shards[i], &s.shards[j]
+	if i == j {
+		si.mu.Lock()
+		defer si.mu.Unlock()
+	} else if i < j {
+		si.mu.Lock()
+		sj.mu.Lock()
+		defer si.mu.Unlock()
+		defer sj.mu.Unlock()
+	} else {
+		sj.mu.Lock()
+		si.mu.Lock()
+		defer sj.mu.Unlock()
+		defer si.mu.Unlock()
+	}
+	src := si.subjects[oldID]
+	if src == nil {
+		return
+	}
+	delete(si.subjects, oldID)
+	dst := sj.subjects[newID]
+	if dst == nil {
+		sj.subjects[newID] = src
+		return
+	}
+	dst.pos += src.pos
+	dst.neg += src.neg
+	for rep, rt := range src.reporters {
+		drt := dst.reporters[rep]
+		drt.pos += rt.pos
+		drt.neg += rt.neg
+		dst.reporters[rep] = drt
+	}
+}
+
+// Tally returns the raw positive/negative counts for a subject. ok is false
+// when the store holds no reports about it.
+func (s *Store) Tally(subject pkc.NodeID) (pos, neg int, ok bool) {
+	sh := s.shardFor(subject)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st := sh.subjects[subject]
+	if st == nil || st.pos+st.neg == 0 {
+		return 0, 0, false
+	}
+	return st.pos, st.neg, true
+}
+
+// TrustValue computes the Laplace-smoothed positive fraction (p+1)/(p+n+2)
+// for a subject — the Beta-prior estimator the agent serves. ok is false
+// when the store has no opinion.
+func (s *Store) TrustValue(subject pkc.NodeID) (trust.Value, bool) {
+	pos, neg, ok := s.Tally(subject)
+	if !ok {
+		return 0, false
+	}
+	return trust.Value(float64(pos+1) / float64(pos+neg+2)), true
+}
+
+// DistinctReporters returns how many different reporters have filed about a
+// subject — the denominator of any ballot-stuffing check.
+func (s *Store) DistinctReporters(subject pkc.NodeID) int {
+	sh := s.shardFor(subject)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st := sh.subjects[subject]
+	if st == nil {
+		return 0
+	}
+	return len(st.reporters)
+}
+
+// ReportCount returns the total number of reports applied.
+func (s *Store) ReportCount() int { return int(s.reports.Load()) }
+
+// SubjectCount returns how many distinct subjects have state.
+func (s *Store) SubjectCount() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.subjects)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// WALSize returns the current WAL length in bytes (0 for memory-only).
+func (s *Store) WALSize() int64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.size.Load()
+}
+
+// maybeCompact folds the WAL into a snapshot once it outgrows the
+// configured threshold. At most one compaction runs at a time; the unlucky
+// appender that crosses the threshold pays for it.
+func (s *Store) maybeCompact() {
+	if s.wal == nil || s.opts.CompactAfter < 0 || s.wal.size.Load() < s.opts.CompactAfter {
+		return
+	}
+	if s.compacting.Swap(true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	_ = s.Snapshot()
+}
+
+// Snapshot atomically persists the full in-memory state and truncates the
+// WAL. Blocks new appends for the duration; in-flight appends finish first,
+// so the snapshot equals the durable log exactly. No-op for memory stores.
+func (s *Store) Snapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	return s.wal.reset()
+}
+
+// Close snapshots (making the next Open fast) and releases the WAL. Safe to
+// call more than once.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		s.closed.Store(true)
+		return nil
+	}
+	// Exclude appends and compactions, then mark closed under the lock so no
+	// snapshot can start against the closing WAL.
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.closed.Swap(true) {
+		return nil
+	}
+	serr := s.writeSnapshot()
+	if serr == nil {
+		serr = s.wal.reset()
+	}
+	cerr := s.wal.close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

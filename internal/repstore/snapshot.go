@@ -1,0 +1,207 @@
+package repstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"hirep/internal/pkc"
+)
+
+// Snapshot file layout:
+//
+//	8-byte magic | u32le body length | u32le CRC32C(body) | body
+//
+// body: u32 subject count, then per subject
+//
+//	subject[20] | u64 pos | u64 neg | u32 reporter count |
+//	  (reporter[20] | u32 pos | u32 neg)*
+//
+// The snapshot is written to a temp file, fsynced, and renamed over the old
+// one, so a crash at any point leaves either the previous snapshot or the
+// new one — never a torn file. A snapshot therefore either loads fully or is
+// disk corruption, which is a hard error (unlike a torn WAL tail, which is
+// the expected crash artifact).
+const (
+	snapName  = "snapshot"
+	snapMagic = "HRSNAP01"
+)
+
+// writeSnapshot persists the current in-memory state. Caller holds applyMu
+// exclusively, so the state is quiescent.
+func (s *Store) writeSnapshot() error {
+	body := s.encodeState()
+	buf := make([]byte, 0, len(snapMagic)+8+len(body))
+	buf = append(buf, snapMagic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
+
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	final := filepath.Join(s.dir, snapName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("repstore: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("repstore: snapshot write: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("repstore: snapshot sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repstore: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("repstore: snapshot rename: %w", err)
+	}
+	if !s.opts.NoSync {
+		if d, err := os.Open(s.dir); err == nil {
+			_ = d.Sync()
+			_ = d.Close()
+		}
+	}
+	return nil
+}
+
+// encodeState serializes every shard into the snapshot body format.
+func (s *Store) encodeState() []byte {
+	count := 0
+	for i := range s.shards {
+		count += len(s.shards[i].subjects)
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	put32 := func(b []byte, v uint32) []byte {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		return append(b, u32[:]...)
+	}
+	put64 := func(b []byte, v uint64) []byte {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		return append(b, u64[:]...)
+	}
+	body := put32(nil, uint32(count))
+	for i := range s.shards {
+		for subject, st := range s.shards[i].subjects {
+			body = append(body, subject[:]...)
+			body = put64(body, uint64(st.pos))
+			body = put64(body, uint64(st.neg))
+			body = put32(body, uint32(len(st.reporters)))
+			for rep, rt := range st.reporters {
+				body = append(body, rep[:]...)
+				body = put32(body, uint32(rt.pos))
+				body = put32(body, uint32(rt.neg))
+			}
+		}
+	}
+	return body
+}
+
+// loadSnapshot restores state from the snapshot file, if one exists. Called
+// from Open before WAL replay.
+func (s *Store) loadSnapshot() error {
+	buf, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("repstore: read snapshot: %w", err)
+	}
+	if len(buf) < len(snapMagic)+8 || string(buf[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	}
+	n := binary.LittleEndian.Uint32(buf[len(snapMagic) : len(snapMagic)+4])
+	crc := binary.LittleEndian.Uint32(buf[len(snapMagic)+4 : len(snapMagic)+8])
+	body := buf[len(snapMagic)+8:]
+	if uint32(len(body)) != n {
+		return fmt.Errorf("%w: length mismatch", ErrCorruptSnapshot)
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	}
+	return s.decodeState(body)
+}
+
+// decodeState parses a snapshot body into the shards. The body passed its
+// CRC, so structural violations still mean corruption (or a version skew)
+// and error out rather than guessing.
+func (s *Store) decodeState(body []byte) error {
+	d := snapReader{buf: body}
+	count := d.u32()
+	total := int64(0)
+	for i := uint32(0); i < count; i++ {
+		var subject pkc.NodeID
+		copy(subject[:], d.take(pkc.NodeIDSize))
+		pos := int(d.u64())
+		neg := int(d.u64())
+		nrep := d.u32()
+		hint := int(nrep)
+		if hint > 1024 { // cap the pre-allocation; a hostile count still has to survive take()
+			hint = 1024
+		}
+		st := &subjectState{pos: pos, neg: neg, reporters: make(map[pkc.NodeID]reporterTally, hint)}
+		for j := uint32(0); j < nrep; j++ {
+			var rep pkc.NodeID
+			copy(rep[:], d.take(pkc.NodeIDSize))
+			rt := reporterTally{pos: d.u32(), neg: d.u32()}
+			if d.err != nil {
+				return d.err
+			}
+			st.reporters[rep] = rt
+		}
+		if d.err != nil {
+			return d.err
+		}
+		s.shardFor(subject).subjects[subject] = st
+		total += int64(pos + neg)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: trailing bytes", ErrCorruptSnapshot)
+	}
+	s.reports.Store(total)
+	return nil
+}
+
+// snapReader is a bounds-checked cursor over the snapshot body.
+type snapReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapReader) take(n int) []byte {
+	if d.err != nil || len(d.buf)-d.off < n {
+		d.err = ErrCorruptSnapshot
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *snapReader) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *snapReader) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,282 @@
+package repstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"hirep/internal/pkc"
+)
+
+// WAL file layout: a sequence of frames, each
+//
+//	u32le payload length | u32le CRC32C(payload) | payload
+//
+// The payload is one record (encodeOp/decodeOp). A crash can tear the last
+// frame; recovery accepts the longest prefix of intact frames and truncates
+// the rest. Anything after the first bad frame is unreachable by
+// construction (frames are only ever appended), so truncation never drops a
+// committed record.
+const (
+	walName         = "wal.log"
+	frameHeaderSize = 8
+	// maxFramePayload bounds a frame so a corrupt length field cannot force
+	// a huge allocation. Records are tens of bytes; 64 KiB is generous.
+	maxFramePayload = 64 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record kinds inside WAL frames.
+const (
+	kindReport byte = 1
+	kindMerge  byte = 2
+)
+
+// walOp is one logged operation: an accepted report or a key-rotation merge.
+type walOp struct {
+	kind  byte
+	rec   Record     // kindReport
+	oldID pkc.NodeID // kindMerge
+	newID pkc.NodeID
+}
+
+// reportPayloadSize is kind + reporter + subject + flag + nonce.
+const reportPayloadSize = 1 + pkc.NodeIDSize + pkc.NodeIDSize + 1 + pkc.NonceSize
+
+// mergePayloadSize is kind + old + new.
+const mergePayloadSize = 1 + pkc.NodeIDSize + pkc.NodeIDSize
+
+// encodeOp appends the canonical payload encoding of op to dst.
+func encodeOp(dst []byte, op walOp) []byte {
+	switch op.kind {
+	case kindReport:
+		dst = append(dst, kindReport)
+		dst = append(dst, op.rec.Reporter[:]...)
+		dst = append(dst, op.rec.Subject[:]...)
+		if op.rec.Positive {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, op.rec.Nonce[:]...)
+	case kindMerge:
+		dst = append(dst, kindMerge)
+		dst = append(dst, op.oldID[:]...)
+		dst = append(dst, op.newID[:]...)
+	}
+	return dst
+}
+
+// decodeOp parses one frame payload. Corrupt payloads error; they never
+// panic and never decode to a different record than was encoded.
+func decodeOp(p []byte) (walOp, error) {
+	if len(p) == 0 {
+		return walOp{}, ErrCorruptRecord
+	}
+	switch p[0] {
+	case kindReport:
+		if len(p) != reportPayloadSize {
+			return walOp{}, ErrCorruptRecord
+		}
+		op := walOp{kind: kindReport}
+		p = p[1:]
+		copy(op.rec.Reporter[:], p[:pkc.NodeIDSize])
+		p = p[pkc.NodeIDSize:]
+		copy(op.rec.Subject[:], p[:pkc.NodeIDSize])
+		p = p[pkc.NodeIDSize:]
+		switch p[0] {
+		case 0:
+			op.rec.Positive = false
+		case 1:
+			op.rec.Positive = true
+		default:
+			return walOp{}, ErrCorruptRecord
+		}
+		copy(op.rec.Nonce[:], p[1:])
+		return op, nil
+	case kindMerge:
+		if len(p) != mergePayloadSize {
+			return walOp{}, ErrCorruptRecord
+		}
+		op := walOp{kind: kindMerge}
+		copy(op.oldID[:], p[1:1+pkc.NodeIDSize])
+		copy(op.newID[:], p[1+pkc.NodeIDSize:])
+		return op, nil
+	default:
+		return walOp{}, errUnknownRecordKind
+	}
+}
+
+// appendFrame wraps payload in a length+CRC frame and appends it to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// scanFrames walks buf, returning the decoded ops of every intact frame and
+// the byte length of that intact prefix. It never errors on torn or corrupt
+// tails — that is the crash case recovery exists for — it just stops.
+func scanFrames(buf []byte) (ops []walOp, goodLen int) {
+	off := 0
+	for {
+		if len(buf)-off < frameHeaderSize {
+			return ops, off
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		crc := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		if n > maxFramePayload || len(buf)-off-frameHeaderSize < n {
+			return ops, off
+		}
+		payload := buf[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return ops, off
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return ops, off
+		}
+		ops = append(ops, op)
+		off += frameHeaderSize + n
+	}
+}
+
+// wal is the append-only log with group commit. One leader goroutine at a
+// time writes and fsyncs the accumulated batch, applies it to the store,
+// and wakes every rider whose record the batch carried.
+type wal struct {
+	noSync bool
+	apply  func([]walOp) // set by the store after recovery
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	f          *os.File
+	buf        []byte  // encoded frames awaiting commit
+	ops        []walOp // decoded twins of buf, applied after the batch lands
+	nextGen    uint64  // generation currently accumulating
+	flushedGen uint64  // latest generation fully durable + applied
+	flushing   bool
+	err        error // sticky: first I/O failure poisons the log
+
+	size atomic.Int64
+}
+
+// openWAL opens (creating if absent) the log at path, replays every intact
+// frame, truncates the torn tail, and positions the file for appending.
+func openWAL(path string, noSync bool) (*wal, []walOp, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repstore: open wal: %w", err)
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("repstore: read wal: %w", err)
+	}
+	ops, goodLen := scanFrames(buf)
+	if goodLen < len(buf) {
+		if err := f.Truncate(int64(goodLen)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("repstore: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(goodLen), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("repstore: seek wal: %w", err)
+	}
+	w := &wal{f: f, noSync: noSync}
+	w.cond = sync.NewCond(&w.mu)
+	w.size.Store(int64(goodLen))
+	return w, ops, nil
+}
+
+// commit makes op durable and applied. Concurrent callers share one
+// write+fsync: the first to find no flush in progress becomes the leader for
+// everything queued so far; the rest wait for their generation.
+func (w *wal) commit(op walOp) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = appendFrame(w.buf, encodeOp(nil, op))
+	w.ops = append(w.ops, op)
+	gen := w.nextGen
+	for w.flushedGen <= gen && w.err == nil {
+		if !w.flushing {
+			w.flushBatchLocked()
+		} else {
+			w.cond.Wait()
+		}
+	}
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// flushBatchLocked takes the pending batch, releases the lock for the I/O
+// and apply, then publishes the new durable generation. Caller holds w.mu.
+func (w *wal) flushBatchLocked() {
+	w.flushing = true
+	batch, ops, gen := w.buf, w.ops, w.nextGen
+	w.buf, w.ops = nil, nil
+	w.nextGen++
+	w.mu.Unlock()
+
+	_, err := w.f.Write(batch)
+	if err == nil && !w.noSync {
+		err = w.f.Sync()
+	}
+	if err == nil {
+		w.size.Add(int64(len(batch)))
+		if w.apply != nil {
+			w.apply(ops)
+		}
+	}
+
+	w.mu.Lock()
+	w.flushing = false
+	w.flushedGen = gen + 1
+	if err != nil && w.err == nil {
+		w.err = fmt.Errorf("repstore: wal commit: %w", err)
+	}
+	w.cond.Broadcast()
+}
+
+// reset truncates the log to zero after a successful snapshot. The caller
+// (Snapshot) holds the store's applyMu exclusively, so no commit is in
+// flight.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("repstore: truncate wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("repstore: rewind wal: %w", err)
+	}
+	w.size.Store(0)
+	return nil
+}
+
+// close releases the file. Pending state was flushed by commit's synchronous
+// contract; a final fsync covers the NoSync case.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.noSync {
+		_ = w.f.Sync()
+	}
+	return w.f.Close()
+}

@@ -2,14 +2,41 @@
 # verify.sh — the repo's one-shot correctness + performance gate.
 #
 #   ./verify.sh          build, vet, race-test everything, then run the
-#                        simnet benchmarks and append the numbers to
-#                        BENCH_simnet.json (runs[] history).
+#                        simnet and repstore benchmarks and append the
+#                        numbers to BENCH_simnet.json / BENCH_repstore.json
+#                        (runs[] history).
 #   ./verify.sh -fast    skip the benchmark pass.
 #
-# The benchmark history lets a reviewer see whether a change moved the
-# event-loop hot path without digging through CI logs.
+# The benchmark history lets a reviewer see whether a change moved a hot
+# path without digging through CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# record_bench <bench output> <json path> — append one run to a history file.
+record_bench() {
+    BENCH_OUT="$1" BENCH_PATH="$2" python3 - <<'EOF'
+import json, os, re, subprocess
+
+out = os.environ["BENCH_OUT"]
+path = os.environ["BENCH_PATH"]
+run = {"date": subprocess.run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"],
+                              capture_output=True, text=True).stdout.strip(),
+       "commit": subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                                capture_output=True, text=True).stdout.strip() or "worktree",
+       "results": {}}
+for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$", out, re.M):
+    name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
+    r = {"ns_op": ns}
+    if a := re.search(r"(\d+) allocs/op", rest):
+        r["allocs_op"] = int(a.group(1))
+    run["results"][name] = r
+
+doc = json.load(open(path))
+doc.setdefault("runs", []).append(run)
+json.dump(doc, open(path, "w"), indent=2)
+print(f"recorded {len(run['results'])} benchmarks at {run['date']}")
+EOF
+}
 
 fast=0
 [[ "${1:-}" == "-fast" ]] && fast=1
@@ -33,27 +60,13 @@ out=$(go test -run '^$' -bench 'BenchmarkSend|BenchmarkLatency' -benchmem ./inte
 echo "$out"
 
 echo "== appending run to BENCH_simnet.json"
-BENCH_OUT="$out" python3 - <<'EOF'
-import json, os, re, subprocess
+record_bench "$out" BENCH_simnet.json
 
-out = os.environ["BENCH_OUT"]
-run = {"date": subprocess.run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"],
-                              capture_output=True, text=True).stdout.strip(),
-       "commit": subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                                capture_output=True, text=True).stdout.strip() or "worktree",
-       "results": {}}
-for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$", out, re.M):
-    name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
-    r = {"ns_op": ns}
-    if a := re.search(r"(\d+) allocs/op", rest):
-        r["allocs_op"] = int(a.group(1))
-    run["results"][name] = r
+echo "== repstore benchmarks"
+out=$(go test -run '^$' -bench 'BenchmarkRepstore' -benchmem ./internal/repstore/ 2>&1)
+echo "$out"
 
-path = "BENCH_simnet.json"
-doc = json.load(open(path))
-doc.setdefault("runs", []).append(run)
-json.dump(doc, open(path, "w"), indent=2)
-print(f"recorded {len(run['results'])} benchmarks at {run['date']}")
-EOF
+echo "== appending run to BENCH_repstore.json"
+record_bench "$out" BENCH_repstore.json
 
 echo "verify: OK"
