@@ -186,6 +186,10 @@ func (a *Agent) SubmitReport(reporter pkc.NodeID, wire []byte) (Report, error) {
 	}
 	rec := repstore.Record{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}
 	if err := a.store.Append(rec); err != nil {
+		// The report was rejected, not stored: release its nonce so a
+		// legitimate retry of the same signed report is not misclassified as
+		// a replay once the store recovers.
+		a.replays.Forget(nonce)
 		return Report{}, err
 	}
 	return Report{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}, nil
@@ -210,13 +214,15 @@ func (a *Agent) ApplyKeyUpdate(wire []byte) (pkc.KeyUpdate, error) {
 	if err != nil {
 		return pkc.KeyUpdate{}, err
 	}
-	delete(a.keys, upd.OldID)
-	a.keys[upd.NewID] = upd.NewSP
-	// Tallies about the old nodeID migrate in the store (durably, when the
-	// store is WAL-backed).
+	// Tallies about the old nodeID migrate in the store first (durably, when
+	// the store is WAL-backed): Merge can fail on WAL I/O, the key-map swap
+	// below cannot, so a failure leaves both keys and tallies untouched —
+	// the caller can tell nothing applied.
 	if err := a.store.Merge(upd.OldID, upd.NewID); err != nil {
 		return pkc.KeyUpdate{}, err
 	}
+	delete(a.keys, upd.OldID)
+	a.keys[upd.NewID] = upd.NewSP
 	return upd, nil
 }
 

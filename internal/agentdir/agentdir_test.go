@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hirep/internal/pkc"
+	"hirep/internal/repstore"
 )
 
 func ident(t *testing.T) *pkc.Identity {
@@ -223,6 +224,84 @@ func TestStringSummary(t *testing.T) {
 	a := New(ident(t), 0)
 	if a.String() == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// TestSubmitReportStoreFailureReleasesNonce pins that a report the store
+// rejects does not burn its replay nonce: once the store works again, a
+// retry of the same signed report is accepted — and only then does the wire
+// become a true replay.
+func TestSubmitReportStoreFailureReleasesNonce(t *testing.T) {
+	st, err := repstore.Open("", repstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewWithStore(ident(t), 0, st)
+	p, subject := ident(t), ident(t)
+	if err := a.RegisterKey(p.ID, p.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	wire := SignReport(p, subject.ID, true, nonce(t))
+	// Simulate a sticky store failure: a closed store refuses appends the
+	// same way a poisoned WAL does.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitReport(p.ID, wire); !errors.Is(err, repstore.ErrClosed) {
+		t.Fatalf("append against failed store: %v", err)
+	}
+	// The store recovers (in production: a restart reopening the same dir;
+	// here: swap in a fresh backend). The SAME wire must now be accepted.
+	if a.store, err = repstore.Open("", repstore.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitReport(p.ID, wire); err != nil {
+		t.Fatalf("legitimate retry rejected after store failure: %v", err)
+	}
+	if _, err := a.SubmitReport(p.ID, wire); !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("true replay accepted: %v", err)
+	}
+	if a.ReportCount() != 1 {
+		t.Fatalf("report count %d, want 1", a.ReportCount())
+	}
+}
+
+// TestApplyKeyUpdateStoreFailureKeepsKeys pins the all-or-nothing contract
+// of key rotation: if the durable tally merge fails, the public-key list
+// must be left untouched so the caller can tell nothing applied and retry.
+func TestApplyKeyUpdateStoreFailureKeepsKeys(t *testing.T) {
+	st, err := repstore.Open("", repstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewWithStore(ident(t), 0, st)
+	old := ident(t)
+	if err := a.RegisterKey(old.ID, old.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	_, wire, err := old.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ApplyKeyUpdate(wire); !errors.Is(err, repstore.ErrClosed) {
+		t.Fatalf("key update with failed store: %v", err)
+	}
+	if !a.KnowsKey(old.ID) || a.KeyCount() != 1 {
+		t.Fatal("key map mutated although the update failed")
+	}
+	// Once the store recovers, the same update applies end to end.
+	if a.store, err = repstore.Open("", repstore.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := a.ApplyKeyUpdate(wire)
+	if err != nil {
+		t.Fatalf("retry after store recovery failed: %v", err)
+	}
+	if a.KnowsKey(old.ID) || !a.KnowsKey(upd.NewID) {
+		t.Fatal("retry did not rotate the key")
 	}
 }
 

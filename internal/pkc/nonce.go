@@ -98,6 +98,17 @@ func (c *ReplayCache) Observe(n Nonce) bool {
 	return !dup
 }
 
+// Forget drops n from the cache, if present. A caller that Observed a nonce
+// and then failed to commit the message it guards (e.g. a WAL append error)
+// uses this to return the nonce to circulation, so a legitimate retry of the
+// same message is not rejected as a replay. The stranded queue entry is
+// skipped by eviction and reclaimed by the lazy sweep.
+func (c *ReplayCache) Forget(n Nonce) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.seen, n)
+}
+
 // Len returns the number of nonces currently remembered.
 func (c *ReplayCache) Len() int {
 	c.mu.Lock()

@@ -293,6 +293,37 @@ func TestReplayCacheDupFloodBounded(t *testing.T) {
 	}
 }
 
+func TestReplayCacheForget(t *testing.T) {
+	// Forget returns a nonce to circulation: the pattern is Observe, fail to
+	// commit the guarded message downstream, Forget, and the legitimate
+	// retry must then be admitted as fresh.
+	c := NewReplayCache(4)
+	n, _ := NewNonce(nil)
+	if !c.Observe(n) {
+		t.Fatal("fresh nonce rejected")
+	}
+	c.Forget(n)
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d nonces after Forget, want 0", c.Len())
+	}
+	if !c.Observe(n) {
+		t.Fatal("forgotten nonce still rejected")
+	}
+	if c.Observe(n) {
+		t.Fatal("re-observed nonce accepted twice")
+	}
+	// Forgetting an absent nonce is a no-op, and the stranded queue entry
+	// left by Forget must not confuse eviction accounting at overflow.
+	c.Forget(Nonce{0xAA})
+	for i := 0; i < 10; i++ {
+		f, _ := NewNonce(nil)
+		c.Observe(f)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries after overflow, cap 4", c.Len())
+	}
+}
+
 func TestReplayCacheMinimumCapacity(t *testing.T) {
 	c := NewReplayCache(0)
 	n1, _ := NewNonce(nil)

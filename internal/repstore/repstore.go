@@ -15,9 +15,12 @@
 //     CRC32C-framed records with group commit: concurrent appends ride one
 //     write+fsync. A record is applied to the shards only after its batch is
 //     durable, so observed state never runs ahead of the log.
-//   - The WAL is periodically folded into an atomic snapshot (write tmp,
-//     fsync, rename) and truncated; recovery = load snapshot + replay the
-//     WAL tail, truncating at the first torn or corrupt frame.
+//   - The WAL lives in epoch-named files (wal.<epoch>.log). Compaction
+//     rotates to a fresh epoch, then writes an atomic snapshot (write tmp,
+//     fsync, rename) naming that epoch as its replay floor; recovery = load
+//     snapshot + replay only epochs at or above the floor, truncating the
+//     active file at the first torn or corrupt frame. A crash anywhere in
+//     the compaction sequence therefore never double-applies a record.
 //
 // Open with dir == "" for the pure in-memory backend (the simulator and
 // default live node); give a directory for the durable agent store.
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -54,9 +58,9 @@ type Options struct {
 	// the OS immediately; a machine crash (not just a process crash) can
 	// lose the tail. Meant for tests and benchmarks.
 	NoSync bool
-	// CompactAfter triggers an automatic snapshot + WAL truncation once the
-	// log exceeds this many bytes. 0 picks the default (4 MiB); negative
-	// disables auto-compaction.
+	// CompactAfter triggers an automatic snapshot + WAL rotation once the
+	// active log file exceeds this many bytes. 0 picks the default (4 MiB);
+	// negative disables auto-compaction.
 	CompactAfter int64
 }
 
@@ -105,6 +109,16 @@ type Store struct {
 	closed     atomic.Bool
 	compacting atomic.Bool
 
+	// Auto-compaction health: failures are counted and the last error kept
+	// so operators can see a store that cannot fold its log (disk full,
+	// unwritable dir). compactRetryMin is the active-log size below which
+	// retries are suppressed after a failure — back-off, so a persistently
+	// failing snapshot does not stall every Append over the threshold.
+	compactFailures atomic.Int64
+	compactRetryMin atomic.Int64
+	compactErrMu    sync.Mutex
+	compactErr      error
+
 	dir       string // "" for memory-only
 	wal       *wal   // nil for memory-only
 	recovered []pkc.Nonce
@@ -112,7 +126,9 @@ type Store struct {
 
 // Open creates or reopens a store. dir == "" selects the pure in-memory
 // backend; otherwise dir is created if needed, any snapshot is loaded, and
-// the WAL tail is replayed (truncating at the first torn frame).
+// the WAL epochs at or above the snapshot's replay floor are replayed in
+// order (stale epochs below the floor — leftovers of a compaction that
+// crashed before deleting them — are removed, never replayed).
 func Open(dir string, opts Options) (*Store, error) {
 	n := opts.Shards
 	if n <= 0 {
@@ -136,22 +152,73 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("repstore: %w", err)
 	}
-	if err := s.loadSnapshot(); err != nil {
-		return nil, err
-	}
-	w, ops, err := openWAL(filepath.Join(dir, walName), opts.NoSync)
+	floor, err := s.loadSnapshot()
 	if err != nil {
 		return nil, err
 	}
+	live, err := liveWALEpochs(dir, floor)
+	if err != nil {
+		return nil, err
+	}
+	// The highest live epoch becomes the active append file; lower ones are
+	// sealed by past rotations and only replayed.
+	active := floor
+	if n := len(live); n > 0 {
+		active = live[n-1]
+		live = live[:n-1]
+	}
+	for _, e := range live {
+		ops, err := readSealedWAL(filepath.Join(dir, walFileName(e)))
+		if err != nil {
+			return nil, err
+		}
+		s.replayOps(ops)
+	}
+	w, ops, err := openWALFile(dir, active, opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	s.replayOps(ops)
+	w.apply = s.applyOps
+	s.wal = w
+	return s, nil
+}
+
+// liveWALEpochs lists the WAL epoch files in dir, removing stale ones below
+// the snapshot's replay floor (their content is already in the snapshot; a
+// compaction crashed before deleting them) and returning the rest ascending.
+func liveWALEpochs(dir string, floor uint64) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repstore: scan store dir: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		ep, ok := parseWALEpoch(e.Name())
+		if !ok {
+			continue
+		}
+		if ep < floor {
+			// Best effort: a stale epoch that survives deletion is skipped
+			// again (and re-deleted) at the next Open.
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// replayOps applies recovered operations and collects report nonces for
+// replay-cache reseeding.
+func (s *Store) replayOps(ops []walOp) {
 	for _, op := range ops {
 		s.applyOp(op)
 		if op.kind == kindReport {
 			s.recovered = append(s.recovered, op.rec.Nonce)
 		}
 	}
-	w.apply = s.applyOps
-	s.wal = w
-	return s, nil
 }
 
 // Memory reports whether the store is the in-memory backend (no WAL).
@@ -160,9 +227,9 @@ func (s *Store) Memory() bool { return s.wal == nil }
 // Dir returns the store directory ("" for the in-memory backend).
 func (s *Store) Dir() string { return s.dir }
 
-// RecoveredNonces returns the report nonces replayed from the WAL tail at
-// Open, in log order. An agent uses them to re-seed its replay cache so a
-// restart does not reopen the replay window for recent reports.
+// RecoveredNonces returns the report nonces replayed from the WAL at Open,
+// in log order. An agent uses them to re-seed its replay cache so a restart
+// does not reopen the replay window for recent reports.
 func (s *Store) RecoveredNonces() []pkc.Nonce {
 	out := make([]pkc.Nonce, len(s.recovered))
 	copy(out, s.recovered)
@@ -354,7 +421,8 @@ func (s *Store) SubjectCount() int {
 	return total
 }
 
-// WALSize returns the current WAL length in bytes (0 for memory-only).
+// WALSize returns the length in bytes of the active WAL epoch file (0 for
+// memory-only).
 func (s *Store) WALSize() int64 {
 	if s.wal == nil {
 		return 0
@@ -362,23 +430,60 @@ func (s *Store) WALSize() int64 {
 	return s.wal.size.Load()
 }
 
-// maybeCompact folds the WAL into a snapshot once it outgrows the
-// configured threshold. At most one compaction runs at a time; the unlucky
-// appender that crosses the threshold pays for it.
+// CompactFailures returns how many automatic compactions have failed since
+// Open. A growing count with a non-nil CompactErr means the store cannot
+// fold its log (e.g. disk full) and the WAL keeps growing.
+func (s *Store) CompactFailures() int64 { return s.compactFailures.Load() }
+
+// CompactErr returns the error of the most recent failed automatic
+// compaction, or nil if the last attempt succeeded (or none ran).
+func (s *Store) CompactErr() error {
+	s.compactErrMu.Lock()
+	defer s.compactErrMu.Unlock()
+	return s.compactErr
+}
+
+// maybeCompact folds the WAL into a snapshot once the active epoch file
+// outgrows the configured threshold. At most one compaction runs at a time;
+// the unlucky appender that crosses the threshold pays for it. A failed
+// compaction is counted, surfaced via CompactErr, and backed off: the next
+// attempt waits until the log grows by another CompactAfter, so a
+// persistently failing snapshot cannot stall every subsequent Append.
 func (s *Store) maybeCompact() {
-	if s.wal == nil || s.opts.CompactAfter < 0 || s.wal.size.Load() < s.opts.CompactAfter {
+	if s.wal == nil || s.opts.CompactAfter < 0 {
+		return
+	}
+	sz := s.wal.size.Load()
+	if sz < s.opts.CompactAfter || sz < s.compactRetryMin.Load() {
 		return
 	}
 	if s.compacting.Swap(true) {
 		return
 	}
 	defer s.compacting.Store(false)
-	_ = s.Snapshot()
+	if err := s.Snapshot(); err != nil {
+		s.compactFailures.Add(1)
+		s.compactErrMu.Lock()
+		s.compactErr = err
+		s.compactErrMu.Unlock()
+		s.compactRetryMin.Store(s.wal.size.Load() + s.opts.CompactAfter)
+		return
+	}
+	s.compactErrMu.Lock()
+	s.compactErr = nil
+	s.compactErrMu.Unlock()
+	s.compactRetryMin.Store(0)
 }
 
-// Snapshot atomically persists the full in-memory state and truncates the
-// WAL. Blocks new appends for the duration; in-flight appends finish first,
-// so the snapshot equals the durable log exactly. No-op for memory stores.
+// Snapshot persists the full in-memory state and retires the log: the WAL
+// rotates to a fresh epoch, the snapshot — naming that epoch as its replay
+// floor — is atomically renamed into place, and sealed epochs below the
+// floor are deleted. Recovery replays only epochs at or above the floor, so
+// a crash between any two of these steps leaves either the old snapshot
+// with its epochs still live, or the new snapshot with the old epochs
+// stale — never a double apply. Blocks new appends for the duration;
+// in-flight appends finish first, so the snapshot equals the durable log
+// exactly. No-op for memory stores.
 func (s *Store) Snapshot() error {
 	if s.wal == nil {
 		return nil
@@ -391,10 +496,39 @@ func (s *Store) Snapshot() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	if err := s.writeSnapshot(); err != nil {
+	return s.compactLocked()
+}
+
+// compactLocked runs the rotate → snapshot → delete sequence. Caller holds
+// applyMu exclusively. If the snapshot write fails after the rotation, the
+// old epoch simply stays live (still at or above the current floor) and is
+// replayed alongside the new one at the next Open — correct, just not yet
+// compact.
+func (s *Store) compactLocked() error {
+	floor := s.wal.epoch + 1
+	if err := s.wal.rotate(floor); err != nil {
 		return err
 	}
-	return s.wal.reset()
+	if err := s.writeSnapshot(floor); err != nil {
+		return err
+	}
+	s.removeEpochsBelow(floor)
+	return nil
+}
+
+// removeEpochsBelow deletes sealed WAL files the snapshot at floor has
+// folded in. Best effort: survivors sit below the replay floor, so recovery
+// skips (and re-deletes) them.
+func (s *Store) removeEpochsBelow(floor uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if ep, ok := parseWALEpoch(e.Name()); ok && ep < floor {
+			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
 }
 
 // Close snapshots (making the next Open fast) and releases the WAL. Safe to
@@ -411,10 +545,7 @@ func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	serr := s.writeSnapshot()
-	if serr == nil {
-		serr = s.wal.reset()
-	}
+	serr := s.compactLocked()
 	cerr := s.wal.close()
 	if serr != nil {
 		return serr

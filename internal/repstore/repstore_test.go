@@ -242,7 +242,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		off += frameHeaderSize + reportPayloadSize
 		ends = append(ends, off)
 	}
-	walBytes, err := os.ReadFile(filepath.Join(dir, walName))
+	walBytes, err := os.ReadFile(filepath.Join(dir, walFileName(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			continue
 		}
 		crashDir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(crashDir, walName), walBytes[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(crashDir, walFileName(0)), walBytes[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		// Committed = every record whose final byte lies within the cut.
@@ -298,6 +298,136 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		model.check(t, re2)
 		re2.Close()
 	}
+}
+
+// TestStaleEpochNotDoubleApplied reproduces the compaction crash window the
+// epoch protocol exists for: the snapshot rename lands but the pre-rotation
+// WAL file survives (the crash hit before its deletion). Recovery must not
+// replay that file on top of the snapshot that already contains it.
+func TestStaleEpochNotDoubleApplied(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newShadow()
+	add := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := Record{Reporter: nid(i % 4), Subject: nid(20 + i%6), Positive: i%3 != 0, Nonce: nnc(i)}
+			if err := s.Append(r); err != nil {
+				t.Fatal(err)
+			}
+			model.apply(r)
+		}
+	}
+	add(0, 60)
+	// Keep the epoch-0 log as it was the instant before compaction.
+	wal0, err := os.ReadFile(filepath.Join(dir, walFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	add(60, 90) // tail in the post-rotation epoch
+	// Crash between the snapshot rename and the stale-epoch deletion:
+	// resurrect wal.0 next to the new snapshot and the epoch-1 tail.
+	if err := os.WriteFile(filepath.Join(dir, walFileName(0)), wal0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crashDir := copyStoreDir(t, dir)
+	re, err := Open(crashDir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	model.check(t, re) // a double apply would inflate every tally
+	if got := len(re.RecoveredNonces()); got != 30 {
+		t.Fatalf("recovered %d nonces, want 30 (the live tail only)", got)
+	}
+	// Recovery deletes the stale epoch instead of ever replaying it.
+	if _, err := os.Stat(filepath.Join(crashDir, walFileName(0))); !os.IsNotExist(err) {
+		t.Fatalf("stale epoch file survived recovery: %v", err)
+	}
+}
+
+// TestCompactionFailureSurfacedAndBackedOff pins the failure-path contract
+// of auto-compaction: a failing snapshot must not fail appends, must be
+// visible (counter + error), must not be retried on every append, and the
+// degraded multi-epoch state must still recover exactly.
+func TestCompactionFailureSurfacedAndBackedOff(t *testing.T) {
+	dir := t.TempDir()
+	const threshold = 256
+	s, err := Open(dir, Options{NoSync: true, CompactAfter: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the snapshot's tmp path with a directory so its O_CREATE open
+	// fails deterministically (permission tricks don't bite when running as
+	// root; EISDIR always does).
+	if err := os.Mkdir(filepath.Join(dir, snapName+".tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	model := newShadow()
+	recSize := frameHeaderSize + reportPayloadSize
+	perEpoch := threshold/recSize + 1 // appends needed to cross the threshold
+	seq := 0
+	add := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			r := Record{Reporter: nid(seq % 4), Subject: nid(10 + seq%5), Positive: seq%2 == 0, Nonce: nnc(seq)}
+			if err := s.Append(r); err != nil {
+				t.Fatalf("append %d during failed compaction: %v", seq, err)
+			}
+			model.apply(r)
+			seq++
+		}
+	}
+	add(perEpoch) // crosses the threshold: compaction attempts and fails
+	if s.CompactFailures() == 0 {
+		t.Fatal("compaction failure not counted")
+	}
+	if s.CompactErr() == nil {
+		t.Fatal("compaction failure not surfaced via CompactErr")
+	}
+	fails := s.CompactFailures()
+	add(perEpoch - 2) // stays under the back-off point
+	if got := s.CompactFailures(); got != fails {
+		t.Fatalf("compaction retried %d extra times during back-off", got-fails)
+	}
+	model.check(t, s)
+	// A crash in the degraded state leaves several live epochs (each failed
+	// attempt rotated before the snapshot write failed); recovery replays
+	// them in order.
+	crashDir := copyStoreDir(t, dir)
+	re, err := Open(crashDir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.check(t, re)
+	re.Close()
+	// Unblock the snapshot path; the next threshold crossing succeeds and
+	// clears the failure signal.
+	if err := os.Remove(filepath.Join(dir, snapName+".tmp")); err != nil {
+		t.Fatal(err)
+	}
+	add(perEpoch + 2)
+	if err := s.CompactErr(); err != nil {
+		t.Fatalf("CompactErr still set after successful compaction: %v", err)
+	}
+	if got := s.CompactFailures(); got != fails {
+		t.Fatalf("failure counter moved (%d → %d) after recovery", fails, got)
+	}
+	model.check(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	model.check(t, re2)
 }
 
 func TestAutoCompaction(t *testing.T) {

@@ -12,12 +12,17 @@ import (
 
 // Snapshot file layout:
 //
-//	8-byte magic | u32le body length | u32le CRC32C(body) | body
+//	8-byte magic | u64le epoch | u32le body length | u32le CRC32C(epoch|body) | body
 //
 // body: u32 subject count, then per subject
 //
 //	subject[20] | u64 pos | u64 neg | u32 reporter count |
 //	  (reporter[20] | u32 pos | u32 neg)*
+//
+// epoch is the snapshot's WAL replay floor: the snapshot contains every
+// record from WAL epochs below it, so recovery replays only epoch files at
+// or above the floor. The CRC covers the floor too — a flipped epoch bit
+// must not silently change which log files recovery trusts.
 //
 // The snapshot is written to a temp file, fsynced, and renamed over the old
 // one, so a crash at any point leaves either the previous snapshot or the
@@ -26,18 +31,21 @@ import (
 // the expected crash artifact).
 const (
 	snapName  = "snapshot"
-	snapMagic = "HRSNAP01"
+	snapMagic = "HRSNAP02"
 )
 
-// writeSnapshot persists the current in-memory state. Caller holds applyMu
-// exclusively, so the state is quiescent.
-func (s *Store) writeSnapshot() error {
+// writeSnapshot persists the current in-memory state with epoch as the WAL
+// replay floor. Caller holds applyMu exclusively, so the state is quiescent.
+func (s *Store) writeSnapshot(epoch uint64) error {
 	body := s.encodeState()
-	buf := make([]byte, 0, len(snapMagic)+8+len(body))
+	buf := make([]byte, 0, len(snapMagic)+16+len(body))
 	buf = append(buf, snapMagic...)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], epoch)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	crc := crc32.Checksum(hdr[0:8], crcTable)
+	crc = crc32.Update(crc, crcTable, body)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, body...)
 
@@ -64,10 +72,7 @@ func (s *Store) writeSnapshot() error {
 		return fmt.Errorf("repstore: snapshot rename: %w", err)
 	}
 	if !s.opts.NoSync {
-		if d, err := os.Open(s.dir); err == nil {
-			_ = d.Sync()
-			_ = d.Close()
-		}
+		syncDir(s.dir)
 	}
 	return nil
 }
@@ -105,29 +110,37 @@ func (s *Store) encodeState() []byte {
 	return body
 }
 
-// loadSnapshot restores state from the snapshot file, if one exists. Called
-// from Open before WAL replay.
-func (s *Store) loadSnapshot() error {
+// loadSnapshot restores state from the snapshot file, if one exists, and
+// returns its WAL replay floor (0 when there is no snapshot). Called from
+// Open before WAL replay.
+func (s *Store) loadSnapshot() (uint64, error) {
 	buf, err := os.ReadFile(filepath.Join(s.dir, snapName))
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("repstore: read snapshot: %w", err)
+		return 0, fmt.Errorf("repstore: read snapshot: %w", err)
 	}
-	if len(buf) < len(snapMagic)+8 || string(buf[:len(snapMagic)]) != snapMagic {
-		return fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	if len(buf) < len(snapMagic)+16 || string(buf[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 	}
-	n := binary.LittleEndian.Uint32(buf[len(snapMagic) : len(snapMagic)+4])
-	crc := binary.LittleEndian.Uint32(buf[len(snapMagic)+4 : len(snapMagic)+8])
-	body := buf[len(snapMagic)+8:]
+	hdr := buf[len(snapMagic):]
+	epoch := binary.LittleEndian.Uint64(hdr[0:8])
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	crc := binary.LittleEndian.Uint32(hdr[12:16])
+	body := hdr[16:]
 	if uint32(len(body)) != n {
-		return fmt.Errorf("%w: length mismatch", ErrCorruptSnapshot)
+		return 0, fmt.Errorf("%w: length mismatch", ErrCorruptSnapshot)
 	}
-	if crc32.Checksum(body, crcTable) != crc {
-		return fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	want := crc32.Checksum(hdr[0:8], crcTable)
+	want = crc32.Update(want, crcTable, body)
+	if want != crc {
+		return 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
 	}
-	return s.decodeState(body)
+	if err := s.decodeState(body); err != nil {
+		return 0, err
+	}
+	return epoch, nil
 }
 
 // decodeState parses a snapshot body into the shards. The body passed its

@@ -6,6 +6,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -21,8 +24,15 @@ import (
 // the rest. Anything after the first bad frame is unreachable by
 // construction (frames are only ever appended), so truncation never drops a
 // committed record.
+//
+// The log is split into epoch-named files, wal.<epoch>.log. Compaction
+// rotates to a fresh epoch and then writes a snapshot naming that epoch as
+// its replay floor, so recovery can always tell which epochs the snapshot
+// already contains — a crash anywhere inside the compaction sequence never
+// replays a record the snapshot has folded in (see Store.Snapshot).
 const (
-	walName         = "wal.log"
+	walPrefix       = "wal."
+	walSuffix       = ".log"
 	frameHeaderSize = 8
 	// maxFramePayload bounds a frame so a corrupt length field cannot force
 	// a huge allocation. Records are tens of bytes; 64 KiB is generous.
@@ -30,6 +40,29 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walFileName names one epoch's log file, zero-padded so lexical and numeric
+// order agree.
+func walFileName(epoch uint64) string {
+	return fmt.Sprintf("%s%016d%s", walPrefix, epoch, walSuffix)
+}
+
+// parseWALEpoch extracts the epoch from a WAL file name; ok is false for
+// names that are not epoch logs.
+func parseWALEpoch(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	mid := name[len(walPrefix) : len(name)-len(walSuffix)]
+	if mid == "" {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
 
 // Record kinds inside WAL frames.
 const (
@@ -148,16 +181,37 @@ func scanFrames(buf []byte) (ops []walOp, goodLen int) {
 	}
 }
 
+// walFile is the slice of *os.File the log needs. Tests substitute a
+// fault-injecting implementation to exercise write-failure paths.
+type walFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it are
+// durable. Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
 // wal is the append-only log with group commit. One leader goroutine at a
 // time writes and fsyncs the accumulated batch, applies it to the store,
 // and wakes every rider whose record the batch carried.
 type wal struct {
+	dir    string
 	noSync bool
 	apply  func([]walOp) // set by the store after recovery
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	f          *os.File
+	f          walFile
+	epoch      uint64  // epoch of the active file; advanced only by rotate
 	buf        []byte  // encoded frames awaiting commit
 	ops        []walOp // decoded twins of buf, applied after the batch lands
 	nextGen    uint64  // generation currently accumulating
@@ -165,13 +219,14 @@ type wal struct {
 	flushing   bool
 	err        error // sticky: first I/O failure poisons the log
 
-	size atomic.Int64
+	size atomic.Int64 // bytes in the active epoch file
 }
 
-// openWAL opens (creating if absent) the log at path, replays every intact
-// frame, truncates the torn tail, and positions the file for appending.
-func openWAL(path string, noSync bool) (*wal, []walOp, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// openWALFile opens (creating if absent) the log file for epoch in dir,
+// replays every intact frame, truncates the torn tail, and positions the
+// file for appending.
+func openWALFile(dir string, epoch uint64, noSync bool) (*wal, []walOp, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walFileName(epoch)), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("repstore: open wal: %w", err)
 	}
@@ -191,10 +246,27 @@ func openWAL(path string, noSync bool) (*wal, []walOp, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("repstore: seek wal: %w", err)
 	}
-	w := &wal{f: f, noSync: noSync}
+	w := &wal{dir: dir, epoch: epoch, f: f, noSync: noSync}
 	w.cond = sync.NewCond(&w.mu)
 	w.size.Store(int64(goodLen))
 	return w, ops, nil
+}
+
+// readSealedWAL replays a non-active epoch file. Sealed epochs had no
+// commit in flight when the log rotated past them, so the intact frame
+// prefix is the committed content; a torn tail can only be the abandoned
+// remains of a failed batch (whose records were reported failed to their
+// callers) or disk damage, and is skipped either way. If a batch-write
+// failure landed complete frames AND the claw-back truncate also failed,
+// those acknowledged-failed frames are in the prefix and will replay — the
+// residual ambiguity documented in DESIGN.md §7.
+func readSealedWAL(path string) ([]walOp, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repstore: read sealed wal: %w", err)
+	}
+	ops, _ := scanFrames(buf)
+	return ops, nil
 }
 
 // commit makes op durable and applied. Concurrent callers share one
@@ -229,6 +301,7 @@ func (w *wal) flushBatchLocked() {
 	batch, ops, gen := w.buf, w.ops, w.nextGen
 	w.buf, w.ops = nil, nil
 	w.nextGen++
+	preSize := w.size.Load()
 	w.mu.Unlock()
 
 	_, err := w.f.Write(batch)
@@ -239,6 +312,20 @@ func (w *wal) flushBatchLocked() {
 		w.size.Add(int64(len(batch)))
 		if w.apply != nil {
 			w.apply(ops)
+		}
+	} else {
+		// A failed write (or fsync) can still have landed a prefix of the
+		// batch on disk. Every rider is told "failed", so complete frames in
+		// that prefix must not be recovered at the next Open — claw the file
+		// back to its pre-batch length. If the truncate itself fails the
+		// torn tail stays ambiguous; the sticky error below stops the epoch
+		// from growing, and the next rotation (Snapshot/Close) abandons the
+		// tail for good.
+		if terr := w.f.Truncate(preSize); terr == nil {
+			_, _ = w.f.Seek(preSize, io.SeekStart)
+			if !w.noSync {
+				_ = w.f.Sync()
+			}
 		}
 	}
 
@@ -251,22 +338,28 @@ func (w *wal) flushBatchLocked() {
 	w.cond.Broadcast()
 }
 
-// reset truncates the log to zero after a successful snapshot. The caller
-// (Snapshot) holds the store's applyMu exclusively, so no commit is in
-// flight.
-func (w *wal) reset() error {
+// rotate seals the active epoch file and starts a fresh one. The caller
+// (Snapshot/Close) holds the store's applyMu exclusively, so no commit is in
+// flight. The sticky error is deliberately not consulted: rotating away from
+// a poisoned file is how compaction abandons an ambiguous torn batch — the
+// new epoch starts empty, and appends keep failing until reopen.
+func (w *wal) rotate(newEpoch uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.err != nil {
-		return w.err
+	f, err := os.OpenFile(filepath.Join(w.dir, walFileName(newEpoch)), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("repstore: rotate wal: %w", err)
 	}
-	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("repstore: truncate wal: %w", err)
+	if !w.noSync {
+		syncDir(w.dir)
 	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("repstore: rewind wal: %w", err)
-	}
+	old := w.f
+	w.f = f
+	w.epoch = newEpoch
 	w.size.Store(0)
+	if old != nil {
+		_ = old.Close()
+	}
 	return nil
 }
 

@@ -1,0 +1,96 @@
+package repstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var errInjected = errors.New("injected write failure")
+
+// flakyFile wraps the active WAL file and fails writes after landing only
+// half the bytes — the short-write crash the group-commit claw-back exists
+// for. Truncate/Seek/Sync pass through, so the repair path runs for real.
+type flakyFile struct {
+	walFile
+	failWrites bool
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.failWrites {
+		n, _ := f.walFile.Write(p[:len(p)/2])
+		return n, errInjected
+	}
+	return f.walFile.Write(p)
+}
+
+// TestBatchWriteFailureClawsBackPartialBatch pins the acknowledged-failed
+// contract: when a group-commit write fails partway through, the on-disk log
+// is truncated back to its pre-batch length, so records reported as failed
+// to their callers can never be recovered at the next Open.
+func TestBatchWriteFailureClawsBackPartialBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := newShadow()
+	for i := 0; i < 3; i++ {
+		r := Record{Reporter: nid(1), Subject: nid(10 + i), Positive: true, Nonce: nnc(i)}
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		model.apply(r)
+	}
+	preLen := s.WALSize()
+
+	s.wal.f = &flakyFile{walFile: s.wal.f, failWrites: true}
+	if err := s.Append(Record{Reporter: nid(1), Subject: nid(99), Positive: true, Nonce: nnc(99)}); err == nil {
+		t.Fatal("append over a failing file reported success")
+	}
+	if got := s.WALSize(); got != preLen {
+		t.Fatalf("WALSize %d after failed batch, want %d", got, preLen)
+	}
+	// The failure is sticky: later appends are refused up front.
+	if err := s.Append(Record{Reporter: nid(1), Subject: nid(98), Positive: true, Nonce: nnc(98)}); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	model.check(t, s) // neither failed record became visible
+
+	// The half-written frame was clawed back: the file holds exactly the
+	// pre-failure frames, nothing torn, nothing extra.
+	onDisk, err := os.ReadFile(filepath.Join(dir, walFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(onDisk)) != preLen {
+		t.Fatalf("on-disk WAL is %d bytes after claw-back, want %d", len(onDisk), preLen)
+	}
+	if ops, goodLen := scanFrames(onDisk); goodLen != len(onDisk) || len(ops) != 3 {
+		t.Fatalf("clawed-back WAL holds %d ops over %d/%d intact bytes, want 3 ops", len(ops), goodLen, len(onDisk))
+	}
+
+	// A crash image taken now recovers exactly the acknowledged records.
+	crashDir := copyStoreDir(t, dir)
+	re, err := Open(crashDir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.check(t, re)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close on the poisoned store rotates away from the dead epoch and
+	// snapshots the applied state, so the original dir also reopens cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	model.check(t, re2)
+}
