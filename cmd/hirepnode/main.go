@@ -14,6 +14,13 @@
 //
 //	hirepnode -listen 127.0.0.1:7001 -agent -relays 127.0.0.1:7002,127.0.0.1:7003
 //
+// Tune the failure model (DESIGN.md §8) — attempts, backoff, circuit-breaker
+// trip point, durable report outbox, and evaluation quorum:
+//
+//	hirepnode -retries 4 -retry-base 100ms -breaker-threshold 5 \
+//	          -breaker-cooldown 10s -outbox /var/lib/hirep/outbox.journal \
+//	          -outbox-cap 2048 -quorum 2 -probe-timeout 500ms
+//
 // Run the full zero-config demonstration on loopback — an agent, a reporter,
 // a requestor, and a relay chain exchanging onion-routed trust traffic:
 //
@@ -31,7 +38,12 @@ import (
 	"hirep/internal/node"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/resilience"
 )
+
+// bookQuorum is the -quorum flag value, applied to every agent book this
+// process builds (see hirepBookFor).
+var bookQuorum = 1
 
 func main() {
 	var (
@@ -40,6 +52,16 @@ func main() {
 		store  = flag.String("store", "", "durable report store directory (agents only; empty = in-memory)")
 		relays = flag.String("relays", "", "comma-separated relay addresses to publish an onion through")
 		demo   = flag.Bool("demo", false, "run the loopback demonstration fleet and exit")
+
+		// Resilience knobs (DESIGN.md §8).
+		probeTimeout = flag.Duration("probe-timeout", 0, "liveness-probe deadline (0 = default 750ms)")
+		retries      = flag.Int("retries", 0, "total send/request attempts (0 = default 3; 1 disables retries)")
+		retryBase    = flag.Duration("retry-base", 0, "backoff before the first retry (0 = default 50ms)")
+		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open an agent's circuit breaker (0 = default 3)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 30s)")
+		outboxPath   = flag.String("outbox", "", "journal file for undeliverable reports (empty = in-memory outbox)")
+		outboxCap    = flag.Int("outbox-cap", 0, "max queued reports before oldest is dropped (0 = default 1024)")
+		quorum       = flag.Int("quorum", 1, "minimum agent answers for an evaluation to succeed")
 	)
 	flag.Parse()
 
@@ -55,11 +77,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	n, err := node.Listen(*listen, node.Options{Agent: *agent, StoreDir: *store})
+	n, err := node.Listen(*listen, node.Options{
+		Agent:        *agent,
+		StoreDir:     *store,
+		ProbeTimeout: *probeTimeout,
+		Retry:        resilience.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase},
+		Breaker:      resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		OutboxPath:   *outboxPath,
+		OutboxCap:    *outboxCap,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	bookQuorum = *quorum
 	defer n.Close()
 	role := "relay"
 	if *agent {
@@ -88,6 +119,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Printf("shutting down; %s\n", n.Stats())
+	n.Metrics().Table("resilience").Render(os.Stdout)
 	// Graceful shutdown: drain in-flight handlers and flush the report store
 	// (snapshot + WAL release) before exiting.
 	if err := n.Close(); err != nil {
@@ -107,9 +139,11 @@ func hirepBookFor(n *node.Node) (*node.AgentBook, error) {
 	if err != nil {
 		return nil, err
 	}
+	book.SetQuorum(bookQuorum)
 	for _, info := range infos {
 		book.Add(info)
 	}
+	n.AttachBook(book)
 	return book, nil
 }
 

@@ -22,10 +22,12 @@ import (
 
 	"hirep/internal/core"
 	"hirep/internal/gnutella"
+	"hirep/internal/metrics"
 	"hirep/internal/node"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
 	"hirep/internal/rca"
+	"hirep/internal/resilience"
 	"hirep/internal/sim"
 	"hirep/internal/simnet"
 	"hirep/internal/topology"
@@ -277,3 +279,26 @@ type AgentBook = node.AgentBook
 func NewAgentBook(max int, alpha, threshold float64) (*AgentBook, error) {
 	return node.NewAgentBook(max, alpha, threshold)
 }
+
+// RetryPolicy shapes the live node's jittered-exponential-backoff retries
+// (NodeOptions.Retry).
+type RetryPolicy = resilience.RetryPolicy
+
+// BreakerConfig tunes the live node's per-agent circuit breakers
+// (NodeOptions.Breaker).
+type BreakerConfig = resilience.BreakerConfig
+
+// FaultDialer is a deterministic fault-injection TCP dialer for chaos-testing
+// live nodes (NodeOptions.Dialer).
+type FaultDialer = resilience.FaultDialer
+
+// NewFaultDialer wraps the real TCP dialer with seeded fault injection; pass
+// its Dial method as NodeOptions.Dialer.
+func NewFaultDialer(seed int64) *FaultDialer { return resilience.NewFaultDialer(nil, seed) }
+
+// MetricsRegistry is a named set of operational counters and gauges; pass one
+// as NodeOptions.Metrics to observe a live node's resilience behavior.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }

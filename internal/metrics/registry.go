@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hirep/internal/stats"
+)
+
+// This file adds general-purpose operational counters to the metrics
+// package, alongside the simulator telemetry in metrics.go. The live node's
+// resilience layer (retries, circuit-breaker transitions, failovers, outbox
+// depth) counts through a Registry; tests and `hirepnode` render snapshots.
+
+// Counter is a monotonically increasing operational count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (negative deltas are a caller bug; they are applied as-is).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (e.g. a queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a named set of counters and gauges. Lookup is mutex-guarded
+// and meant for wiring time; the returned Counter/Gauge pointers are
+// lock-free atomics for the hot path. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every counter and gauge value by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+	}
+	return out
+}
+
+// Table renders the registry as a two-column table, names sorted.
+func (r *Registry) Table(title string) *stats.Table {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := stats.NewTable(title, "metric", "value")
+	for _, name := range names {
+		t.AddRow(name, snap[name])
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("retries_total")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("retries_total") != c {
+		t.Fatal("Counter did not return the same instance")
+	}
+	if c.Load() != 5 {
+		t.Fatalf("counter %d", c.Load())
+	}
+	g := r.Gauge("outbox_depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge %d", g.Load())
+	}
+	snap := r.Snapshot()
+	if snap["retries_total"] != 5 || snap["outbox_depth"] != 5 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("level").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("counter %d", got)
+	}
+	if got := r.Gauge("level").Load(); got != 8000 {
+		t.Fatalf("gauge %d", got)
+	}
+}
+
+func TestRegistryTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_count").Add(2)
+	r.Counter("a_count").Add(1)
+	var sb strings.Builder
+	r.Table("ops").Render(&sb)
+	s := sb.String()
+	if !strings.Contains(s, "a_count") || !strings.Contains(s, "b_count") {
+		t.Fatalf("table missing rows:\n%s", s)
+	}
+	if strings.Index(s, "a_count") > strings.Index(s, "b_count") {
+		t.Fatal("rows not sorted by name")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/wire"
 )
 
 // benchFleet builds agent + peer + relay once per benchmark.
@@ -70,6 +71,44 @@ func BenchmarkLiveReport(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := peer.ReportTransaction(info, subject.ID, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripDirect measures one raw frame round trip over loopback
+// (dial, write, read) with no retry wrapper — the baseline for
+// BenchmarkRoundTripRetry.
+func BenchmarkRoundTripDirect(b *testing.B) {
+	_, peer, _, _ := benchFleet(b)
+	target, err := Listen("127.0.0.1:0", Options{Timeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = target.Close() })
+	nonce, _ := pkc.NewNonce(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := peer.roundTripTimeout(target.Addr(), wire.TPing, nonce[:], peer.timeout()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripRetry measures the identical round trip through the
+// retry wrapper on its happy path (zero retries taken); the delta against
+// BenchmarkRoundTripDirect is the resilience layer's hot-path overhead.
+func BenchmarkRoundTripRetry(b *testing.B) {
+	_, peer, _, _ := benchFleet(b)
+	target, err := Listen("127.0.0.1:0", Options{Timeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = target.Close() })
+	nonce, _ := pkc.NewNonce(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := peer.roundTrip(target.Addr(), wire.TPing, nonce[:]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/resilience"
 	"hirep/internal/trust"
 )
 
@@ -15,14 +16,22 @@ import (
 // agent list (§3.4): it holds up to max verified agent descriptors with an
 // expertise EWMA per agent, removes agents that fall below the threshold,
 // and keeps demoted-but-positive agents in a backup cache.
+//
+// Each agent additionally carries a circuit breaker (closed → open after
+// consecutive failures → half-open probe → closed again) so a dead agent is
+// skipped instead of timing out every evaluation, and a quorum k: an
+// evaluation that gathers at least k answers out of the book succeeds with
+// partial results rather than failing on the first missing agent.
 type AgentBook struct {
 	mu        sync.Mutex
 	max       int
 	alpha     float64
 	threshold float64
+	quorum    int
 	entries   map[pkc.NodeID]*bookEntry
 	backups   []*bookEntry // most recently demoted first
 	banned    map[pkc.NodeID]bool
+	breakers  *resilience.Breakers[pkc.NodeID]
 }
 
 type bookEntry struct {
@@ -46,9 +55,61 @@ func NewAgentBook(max int, alpha, threshold float64) (*AgentBook, error) {
 		max:       max,
 		alpha:     alpha,
 		threshold: threshold,
+		quorum:    1,
 		entries:   make(map[pkc.NodeID]*bookEntry),
 		banned:    make(map[pkc.NodeID]bool),
+		breakers:  resilience.NewBreakers[pkc.NodeID](resilience.BreakerConfig{}),
 	}, nil
+}
+
+// SetBreakerConfig applies cfg to every agent's circuit breaker, current and
+// future (existing breaker positions are kept). Node.AttachBook calls this
+// with the node's Options.Breaker.
+func (b *AgentBook) SetBreakerConfig(cfg resilience.BreakerConfig) {
+	b.breakers.SetConfig(cfg)
+}
+
+// SetQuorum sets the minimum number of agent answers an evaluation needs to
+// succeed (clamped to >= 1; values above the book size make every agent
+// required).
+func (b *AgentBook) SetQuorum(k int) {
+	if k < 1 {
+		k = 1
+	}
+	b.mu.Lock()
+	b.quorum = k
+	b.mu.Unlock()
+}
+
+// Quorum returns the configured evaluation quorum.
+func (b *AgentBook) Quorum() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quorum
+}
+
+// Allow consults id's circuit breaker before a request (see
+// resilience.Breaker.Allow; probe == true means the caller holds the single
+// half-open probe slot and must report the outcome).
+func (b *AgentBook) Allow(id pkc.NodeID) (ok, probe bool) {
+	return b.breakers.Get(id).Allow()
+}
+
+// BreakerState returns id's stored breaker position without advancing it.
+func (b *AgentBook) BreakerState(id pkc.NodeID) resilience.BreakerState {
+	return b.breakers.Get(id).State()
+}
+
+// RecordSuccess feeds a successful exchange into id's breaker; it reports
+// whether this closed a previously tripped breaker.
+func (b *AgentBook) RecordSuccess(id pkc.NodeID) bool {
+	return b.breakers.Get(id).Success()
+}
+
+// RecordFailure feeds a failed exchange into id's breaker; it reports whether
+// this call tripped the breaker open.
+func (b *AgentBook) RecordFailure(id pkc.NodeID) bool {
+	return b.breakers.Get(id).Failure()
 }
 
 // Add inserts a verified agent descriptor with initial expertise 1
@@ -134,19 +195,21 @@ func (b *AgentBook) RecordOutcome(id pkc.NodeID, consistent bool) bool {
 	if e.expertise.Value() < b.threshold {
 		delete(b.entries, id)
 		b.banned[id] = true
+		b.breakers.Forget(id) // banned agents never come back
 		return true
 	}
 	return false
 }
 
 // Demote moves an unresponsive agent to the backup cache when its expertise
-// is positive, else drops it (§3.4.3's offline handling).
-func (b *AgentBook) Demote(id pkc.NodeID) {
+// is positive, else drops it (§3.4.3's offline handling). It reports whether
+// the agent was in the active book.
+func (b *AgentBook) Demote(id pkc.NodeID) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e, ok := b.entries[id]
 	if !ok {
-		return
+		return false
 	}
 	delete(b.entries, id)
 	if e.expertise.Value() > 1e-6 {
@@ -155,6 +218,52 @@ func (b *AgentBook) Demote(id pkc.NodeID) {
 			b.backups = b.backups[:b.max]
 		}
 	}
+	return true
+}
+
+// AddBackup inserts a verified descriptor straight into the backup cache —
+// a standby the book can promote when a trusted agent's breaker trips —
+// without consuming an active slot. Duplicates (active or backup), banned
+// agents, bad descriptors, and a full cache are rejected.
+func (b *AgentBook) AddBackup(info AgentInfo) bool {
+	if info.Onion == nil || info.Onion.VerifySig(info.SP) != nil {
+		return false
+	}
+	id := info.ID()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.banned[id] {
+		return false
+	}
+	if _, dup := b.entries[id]; dup {
+		return false
+	}
+	for _, e := range b.backups {
+		if e.info.ID() == id {
+			return false
+		}
+	}
+	if len(b.backups) >= b.max {
+		return false
+	}
+	exp, err := trust.NewExpertise(b.alpha)
+	if err != nil {
+		return false
+	}
+	b.backups = append(b.backups, &bookEntry{info: info, expertise: exp})
+	return true
+}
+
+// BackupInfo returns the descriptor of a backup-cache agent.
+func (b *AgentBook) BackupInfo(id pkc.NodeID) (AgentInfo, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.backups {
+		if e.info.ID() == id {
+			return e.info, true
+		}
+	}
+	return AgentInfo{}, false
 }
 
 // Restore moves a backup agent back into the book (after a successful
@@ -186,65 +295,117 @@ func (b *AgentBook) Backups() []pkc.NodeID {
 	return out
 }
 
-// EvaluateSubject asks every trusted agent in book for subject's trust value
+// EvaluateSubject asks the trusted agents in book for subject's trust value
 // through onions and returns the expertise-weighted aggregate plus each
-// agent's individual answer. Agents that fail or time out are absent from
-// the per-agent map; callers typically Demote them.
+// agent's individual answer. Resilience semantics:
+//
+//   - Agents whose circuit breaker is open are skipped outright — no
+//     timeout is paid for a peer already known dead. An open breaker past
+//     its cooldown gets a single short half-open probe instead of a full
+//     request.
+//   - Every asked agent's outcome feeds its breaker. A failure that trips a
+//     breaker open demotes the agent and promotes the healthiest backup in
+//     its place (§3.4.3, §3.6) — the book heals as a side effect of use.
+//   - The evaluation succeeds (nil error) when at least book.Quorum() agents
+//     answer; below quorum the partial per-agent map and best-effort
+//     aggregate are still returned alongside the error.
 func (n *Node) EvaluateSubject(book *AgentBook, subject pkc.NodeID, replyOnion *onion.Onion) (trust.Value, map[pkc.NodeID]trust.Value, error) {
 	agents := book.Agents()
 	if len(agents) == 0 {
 		return 0, nil, fmt.Errorf("node: agent book is empty")
 	}
 	type answer struct {
-		id pkc.NodeID
-		v  trust.Value
-		ok bool
+		id    pkc.NodeID
+		v     trust.Value
+		ok    bool
+		asked bool
 	}
 	ch := make(chan answer, len(agents))
 	for _, a := range agents {
 		a := a
-		go func() {
-			v, _, err := n.RequestTrust(a, subject, replyOnion)
-			ch <- answer{id: a.ID(), v: v, ok: err == nil}
-		}()
+		id := a.ID()
+		allow, probe := book.Allow(id)
+		if !allow {
+			ch <- answer{id: id} // breaker open: skipped, not failed
+			continue
+		}
+		if probe {
+			n.cnt.breakerHalf.Inc()
+		}
+		go func(probe bool) {
+			var v trust.Value
+			var err error
+			if probe {
+				v, _, err = n.requestTrust(a, subject, replyOnion, 1, n.probeTimeout())
+			} else {
+				v, _, err = n.RequestTrust(a, subject, replyOnion)
+			}
+			ch <- answer{id: id, v: v, ok: err == nil, asked: true}
+		}(probe)
 	}
 	perAgent := make(map[pkc.NodeID]trust.Value)
 	var agg trust.Aggregate
 	for range agents {
 		ans := <-ch
-		if !ans.ok {
+		if !ans.asked {
 			continue
 		}
+		if !ans.ok {
+			n.noteFailure(book, ans.id)
+			continue
+		}
+		n.noteSuccess(book, ans.id)
 		perAgent[ans.id] = ans.v
 		w, _ := book.Expertise(ans.id)
 		agg.Add(ans.v, w)
 	}
 	v, ok := agg.Value()
 	if !ok {
-		return trust.Value(math.NaN()), perAgent, fmt.Errorf("node: no agent answered")
+		v = trust.Value(math.NaN())
+	}
+	if q := book.Quorum(); len(perAgent) < q {
+		return v, perAgent, fmt.Errorf("node: quorum not met: %d of %d agents answered, need %d", len(perAgent), len(agents), q)
 	}
 	return v, perAgent, nil
 }
 
 // CompleteTransaction finishes a live transaction: it updates every
-// answering agent's expertise against the observed outcome, demotes agents
-// that did not answer, and reports the outcome to all remaining trusted
-// agents (§3.6). It returns the IDs removed for poor expertise.
+// answering agent's expertise against the observed outcome and reports the
+// outcome to all trusted agents (§3.6). Unanswering agents are NOT demoted
+// here — their circuit breakers (fed by EvaluateSubject) decide that, so one
+// dropped packet no longer costs an agent its slot. Reports that cannot be
+// delivered — the agent's breaker is not closed, or the send fails — are
+// queued in the node's durable outbox and re-sent by the background flusher
+// once the agent recovers, instead of being silently discarded. It returns
+// the IDs removed for poor expertise.
 func (n *Node) CompleteTransaction(book *AgentBook, subject pkc.NodeID, outcome bool, perAgent map[pkc.NodeID]trust.Value) []pkc.NodeID {
 	var removed []pkc.NodeID
 	for _, a := range book.Agents() {
 		id := a.ID()
 		v, answered := perAgent[id]
 		if !answered {
-			book.Demote(id)
 			continue
 		}
 		if book.RecordOutcome(id, v.Consistent(outcome)) {
 			removed = append(removed, id)
 		}
 	}
+	reported := make(map[pkc.NodeID]bool)
 	for _, a := range book.Agents() {
-		_ = n.ReportTransaction(a, subject, outcome)
+		reported[a.ID()] = true
+		_ = n.reportOrDefer(book, a, subject, outcome)
+	}
+	// Agents that served the evaluation but were demoted mid-transaction (a
+	// tripped breaker) still get the outcome report — deferred through the
+	// outbox until they recover, since a demoted agent keeps its report store
+	// and may be restored (§3.4.3).
+	for id := range perAgent {
+		if reported[id] {
+			continue
+		}
+		if info, ok := book.BackupInfo(id); ok {
+			_ = n.reportOrDefer(book, info, subject, outcome)
+		}
 	}
 	return removed
 }

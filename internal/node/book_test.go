@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hirep/internal/pkc"
+	"hirep/internal/resilience"
 )
 
 // liveAgentInfo builds a valid descriptor for tests: an agent node published
@@ -176,6 +177,9 @@ func TestEvaluateSubjectDemotesUnresponsive(t *testing.T) {
 	// A second "agent" that is actually a plain relay: requests to it vanish.
 	ghost := liveAgentInfo(t, relays[1], relays[0])
 	book.Add(ghost)
+	// Demotion is now the circuit breaker's call (EvaluateSubject feeds it);
+	// threshold 1 preserves this test's demote-on-first-miss setup.
+	book.SetBreakerConfig(resilience.BreakerConfig{Threshold: 1})
 	subject, _ := pkc.NewIdentity(nil)
 	replyOnion, err := peer.BuildOnion(fetchRoute(t, peer, relays[:1]))
 	if err != nil {

@@ -186,13 +186,15 @@ func (n *Node) DiscoverAgents(tokens, ttl int, wait time.Duration) ([]AgentInfo,
 
 // Ping probes a node's liveness with an echo round trip (the §3.4.3 backup
 // probe: "the peer first probes all back up agents"). It reports whether the
-// target answered with the matching payload within the node's timeout.
+// target answered with the matching payload within the node's probe timeout —
+// a deliberately short deadline, distinct from the request timeout, because a
+// probe's common case is a dead peer and it is never retried.
 func (n *Node) Ping(addr string) bool {
 	nonce, err := pkc.NewNonce(nil)
 	if err != nil {
 		return false
 	}
-	typ, echo, err := n.roundTrip(addr, wire.TPing, nonce[:])
+	typ, echo, err := n.roundTripTimeout(addr, wire.TPing, nonce[:], n.probeTimeout())
 	if err != nil || typ != wire.TPong || len(echo) != pkc.NonceSize {
 		return false
 	}

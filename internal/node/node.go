@@ -21,9 +21,11 @@ import (
 	"time"
 
 	"hirep/internal/agentdir"
+	"hirep/internal/metrics"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
 	"hirep/internal/repstore"
+	"hirep/internal/resilience"
 	"hirep/internal/trust"
 	"hirep/internal/wire"
 )
@@ -43,11 +45,41 @@ type Options struct {
 	Agent bool
 	// Timeout bounds dials and request waits (default 5s).
 	Timeout time.Duration
+	// ProbeTimeout bounds liveness probes — Ping round trips and breaker
+	// half-open probe requests — so checking a dead peer is cheap (default
+	// 750ms, capped at Timeout).
+	ProbeTimeout time.Duration
 	// StoreDir, when non-empty and Agent is set, backs the agent's report
 	// state with the durable WAL store in that directory (internal/repstore):
 	// accepted reports survive restarts, and Close flushes a snapshot.
 	// Empty keeps the in-memory store.
 	StoreDir string
+	// Retry shapes the jittered-exponential-backoff retry wrapper around the
+	// node's client-side sends and round trips. Zero fields mean defaults
+	// (3 attempts, 50ms base, 2s cap); Attempts: 1 disables retries.
+	Retry resilience.RetryPolicy
+	// Breaker tunes the per-agent circuit breakers of books attached with
+	// AttachBook. Zero fields mean defaults (3 consecutive failures, 30s
+	// cooldown).
+	Breaker resilience.BreakerConfig
+	// OutboxPath, when non-empty, journals undeliverable transaction reports
+	// to that file so they survive restarts; empty keeps the outbox in
+	// memory only. The outbox is active either way.
+	OutboxPath string
+	// OutboxCap bounds the outbox (default 1024); when full, the oldest
+	// queued report is evicted and counted as lost.
+	OutboxCap int
+	// OutboxFlushInterval is the base cadence of the background flusher that
+	// retries queued reports (default 250ms, backed off while deliveries
+	// keep failing).
+	OutboxFlushInterval time.Duration
+	// Dialer replaces the TCP connector, e.g. with a
+	// resilience.FaultDialer for chaos tests. Nil means real TCP.
+	Dialer resilience.Dialer
+	// Metrics receives the node's resilience counters (retries, breaker
+	// transitions, failovers, outbox depth). Nil creates a private registry,
+	// readable via Node.Metrics.
+	Metrics *metrics.Registry
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -87,6 +119,20 @@ type Node struct {
 
 	// stats holds the operational counters (stats.go).
 	stats nodeStats
+
+	// Resilience plumbing (resilience.go): retry wrapper, pluggable dialer,
+	// metrics registry, durable report outbox and its flusher, and the agent
+	// book whose breakers gate outbox flushing.
+	retrier  *resilience.Retrier
+	dialer   resilience.Dialer
+	reg      *metrics.Registry
+	cnt      resilienceCounters
+	outbox   *resilience.Outbox
+	bookMu   sync.Mutex
+	book     *AgentBook
+	flushCh  chan struct{}
+	closeCh  chan struct{}
+	outboxWG sync.WaitGroup
 
 	// Agent discovery state (discovery.go).
 	neighbors     []string
@@ -142,6 +188,15 @@ func Listen(addr string, opts Options) (*Node, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
 	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = defaultProbeTimeout
+	}
+	if opts.ProbeTimeout > opts.Timeout {
+		opts.ProbeTimeout = opts.Timeout
+	}
+	if opts.OutboxFlushInterval <= 0 {
+		opts.OutboxFlushInterval = defaultFlushInterval
+	}
 	id, err := pkc.NewIdentity(nil)
 	if err != nil {
 		return nil, err
@@ -157,12 +212,36 @@ func Listen(addr string, opts Options) (*Node, error) {
 		ages:    onion.NewAgeTracker(),
 		hs:      make(map[pkc.Nonce]onion.RelayAnswer),
 		pending: make(map[pkc.Nonce]chan trustResponse),
+		dialer:  opts.Dialer,
+		reg:     opts.Metrics,
+		flushCh: make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
 	}
+	if n.dialer == nil {
+		n.dialer = resilience.NetDialer("tcp")
+	}
+	if n.reg == nil {
+		n.reg = metrics.NewRegistry()
+	}
+	n.cnt.bind(n.reg)
+	// Seed the retry jitter from the node identity so distinct nodes desync
+	// their backoff schedules while one node's runs stay reproducible for a
+	// fixed identity (tests inject identities via the fault dialer seam
+	// instead, so this only needs to vary per node).
+	n.retrier = resilience.NewRetrier(opts.Retry, int64(id.ID[0])<<8|int64(id.ID[1]))
+	n.retrier.OnRetry = func(int, error) { n.cnt.retries.Inc() }
+	n.outbox, err = resilience.OpenOutbox(opts.OutboxPath, opts.OutboxCap)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("node: open outbox: %w", err)
+	}
+	n.cnt.outboxDepth.Set(int64(n.outbox.Depth()))
 	if opts.Agent {
 		if opts.StoreDir != "" {
 			st, err := repstore.Open(opts.StoreDir, repstore.Options{})
 			if err != nil {
 				ln.Close()
+				n.outbox.Close()
 				return nil, fmt.Errorf("node: open report store: %w", err)
 			}
 			n.agent = agentdir.NewWithStore(id, 0, st)
@@ -172,6 +251,8 @@ func Listen(addr string, opts Options) (*Node, error) {
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
+	n.outboxWG.Add(1)
+	go n.flushLoop()
 	return n, nil
 }
 
@@ -191,7 +272,9 @@ func (n *Node) AnonPublic() *ecdh.PublicKey { return n.identity().Anon.Public }
 func (n *Node) Agent() *agentdir.Agent { return n.agent }
 
 // Close shuts the node down, waits for in-flight handlers, and flushes the
-// agent's report store (snapshot + WAL release) when one is attached.
+// agent's report store (snapshot + WAL release) when one is attached. Reports
+// still queued in the outbox stay journaled (when OutboxPath is set) for the
+// next run.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -200,8 +283,13 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	close(n.closeCh)
 	err := n.ln.Close()
+	n.outboxWG.Wait()
 	n.wg.Wait()
+	if oerr := n.outbox.Close(); err == nil {
+		err = oerr
+	}
 	if n.agent != nil {
 		if serr := n.agent.Close(); err == nil {
 			err = serr
@@ -353,29 +441,66 @@ func (n *Node) openAny(sealed []byte) (*pkc.Identity, []byte, bool) {
 	return nil, nil, false
 }
 
-// send dials addr and writes one frame.
-func (n *Node) send(addr string, typ wire.MsgType, payload []byte) error {
-	conn, err := net.DialTimeout("tcp", addr, n.timeout())
+// sendTimeout dials addr through the node's dialer and writes one frame,
+// all within budget. It is the single-attempt primitive; send adds retries.
+func (n *Node) sendTimeout(addr string, typ wire.MsgType, payload []byte, budget time.Duration) error {
+	conn, err := n.dialer(addr, budget)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(n.timeout()))
+	_ = conn.SetDeadline(time.Now().Add(budget))
 	return wire.WriteFrame(conn, typ, payload)
 }
 
-// roundTrip dials addr, writes one frame, and reads one response frame.
-func (n *Node) roundTrip(addr string, typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
-	conn, err := net.DialTimeout("tcp", addr, n.timeout())
+// send dials addr and writes one frame, retrying transient failures under
+// the node's retry policy.
+func (n *Node) send(addr string, typ wire.MsgType, payload []byte) error {
+	return n.retrier.Do(func(_ int, perAttempt time.Duration) error {
+		return n.sendTimeout(addr, typ, payload, n.attemptBudget(perAttempt))
+	})
+}
+
+// roundTripTimeout dials addr, writes one frame, and reads one response
+// frame, all within budget. Single attempt; roundTrip adds retries.
+func (n *Node) roundTripTimeout(addr string, typ wire.MsgType, payload []byte, budget time.Duration) (wire.MsgType, []byte, error) {
+	conn, err := n.dialer(addr, budget)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(n.timeout()))
+	_ = conn.SetDeadline(time.Now().Add(budget))
 	if err := wire.WriteFrame(conn, typ, payload); err != nil {
 		return 0, nil, err
 	}
 	return wire.ReadFrame(conn)
+}
+
+// roundTrip dials addr, writes one frame, and reads one response frame,
+// retrying transient failures under the node's retry policy.
+func (n *Node) roundTrip(addr string, typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	var (
+		rtyp wire.MsgType
+		resp []byte
+	)
+	err := n.retrier.Do(func(_ int, perAttempt time.Duration) error {
+		var aerr error
+		rtyp, resp, aerr = n.roundTripTimeout(addr, typ, payload, n.attemptBudget(perAttempt))
+		return aerr
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return rtyp, resp, nil
+}
+
+// attemptBudget resolves the per-attempt deadline: the retry policy's when
+// set, the node timeout otherwise.
+func (n *Node) attemptBudget(perAttempt time.Duration) time.Duration {
+	if perAttempt > 0 {
+		return perAttempt
+	}
+	return n.timeout()
 }
 
 // nextSeq returns a fresh non-decreasing onion sequence number.

@@ -3,6 +3,7 @@ package node
 import (
 	"crypto/ecdh"
 	"crypto/ed25519"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"hirep/internal/agentdir"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/resilience"
 	"hirep/internal/trust"
 	"hirep/internal/wire"
 )
@@ -70,22 +72,59 @@ func (n *Node) Info(o *onion.Onion) AgentInfo {
 }
 
 // sendThroughOnion wraps a sealed payload in an onion envelope and injects it
-// at the onion's entry relay.
+// at the onion's entry relay, retrying transient entry-relay failures.
 func (n *Node) sendThroughOnion(o *onion.Onion, innerType wire.MsgType, sealed []byte) error {
 	var e wire.Encoder
 	e.Bytes(o.Blob).U64(uint64(innerType)).Bytes(sealed)
 	return n.send(o.Entry, wire.TOnion, e.Encode())
 }
 
+// sendThroughOnionTimeout is sendThroughOnion as a single attempt under an
+// explicit budget, for callers running their own retry loop.
+func (n *Node) sendThroughOnionTimeout(o *onion.Onion, innerType wire.MsgType, sealed []byte, budget time.Duration) error {
+	var e wire.Encoder
+	e.Bytes(o.Blob).U64(uint64(innerType)).Bytes(sealed)
+	return n.sendTimeout(o.Entry, wire.TOnion, e.Encode(), budget)
+}
+
 // RequestTrust asks agent for its trust value of subject (§3.5.1/§3.5.2).
 // replyOnion is this node's own onion, through which the agent answers. The
 // returned hasData is false when the agent has no reports about the subject.
+// Transient failures (an unreachable entry relay, a lost response) are
+// retried under the node's retry policy with a fresh nonce per attempt.
 func (n *Node) RequestTrust(agent AgentInfo, subject pkc.NodeID, replyOnion *onion.Onion) (trust.Value, bool, error) {
+	return n.requestTrust(agent, subject, replyOnion, 0, n.timeout())
+}
+
+// requestTrust is RequestTrust with the attempt budget and response wait
+// exposed: attempts <= 0 uses the retry policy's budget; probes pass 1 and a
+// short wait. Protocol-level rejections (a bad agent signature, a closed
+// node) are permanent and never retried.
+func (n *Node) requestTrust(agent AgentInfo, subject pkc.NodeID, replyOnion *onion.Onion, attempts int, wait time.Duration) (trust.Value, bool, error) {
+	var (
+		v       trust.Value
+		hasData bool
+	)
+	err := n.retrier.DoMax(attempts, func(_ int, _ time.Duration) error {
+		var aerr error
+		v, hasData, aerr = n.requestTrustOnce(agent, subject, replyOnion, wait)
+		if errors.Is(aerr, ErrClosed) || errors.Is(aerr, ErrBadAgent) {
+			return resilience.Permanent(aerr)
+		}
+		return aerr
+	})
+	return v, hasData, err
+}
+
+// requestTrustOnce runs one complete request/response exchange: send the
+// sealed request through the agent's onion and wait up to wait for the
+// response to arrive back through replyOnion.
+func (n *Node) requestTrustOnce(agent AgentInfo, subject pkc.NodeID, replyOnion *onion.Onion, wait time.Duration) (trust.Value, bool, error) {
 	if n.isClosed() {
 		return 0, false, ErrClosed
 	}
 	if err := agent.Onion.VerifySig(agent.SP); err != nil {
-		return 0, false, fmt.Errorf("node: agent onion: %w", err)
+		return 0, false, resilience.Permanent(fmt.Errorf("node: agent onion: %w", err))
 	}
 	nonce, err := pkc.NewNonce(nil)
 	if err != nil {
@@ -113,7 +152,9 @@ func (n *Node) RequestTrust(agent AgentInfo, subject pkc.NodeID, replyOnion *oni
 		delete(n.pending, nonce)
 		n.mu.Unlock()
 	}()
-	if err := n.sendThroughOnion(agent.Onion, wire.TTrustReq, sealed); err != nil {
+	// Single-attempt send: the enclosing requestTrust loop owns retries, so a
+	// dead entry relay costs one dial here, not a nested retry storm.
+	if err := n.sendThroughOnionTimeout(agent.Onion, wire.TTrustReq, sealed, wait); err != nil {
 		return 0, false, err
 	}
 	select {
@@ -122,7 +163,7 @@ func (n *Node) RequestTrust(agent AgentInfo, subject pkc.NodeID, replyOnion *oni
 			return 0, false, ErrBadAgent
 		}
 		return resp.value, resp.hasData, nil
-	case <-time.After(n.timeout()):
+	case <-time.After(wait):
 		return 0, false, ErrTimeout
 	}
 }

@@ -1,0 +1,300 @@
+package node
+
+import (
+	"time"
+
+	"hirep/internal/metrics"
+	"hirep/internal/onion"
+	"hirep/internal/pkc"
+	"hirep/internal/resilience"
+	"hirep/internal/wire"
+)
+
+// This file wires the node onto internal/resilience: named counters for the
+// retry/breaker/outbox machinery, deferral of undeliverable transaction
+// reports into the durable outbox, the background flusher that drains it once
+// the target agent's circuit breaker closes again, and backup-agent failover
+// plus probing (§3.4.3, §3.6).
+
+// Probe and flush defaults. Probes must be much cheaper than requests —
+// checking a dead peer is the common case for them — and the flusher's base
+// cadence is fast so a recovered agent drains quickly, with backoff keeping
+// a still-dead one cheap.
+const (
+	defaultProbeTimeout  = 750 * time.Millisecond
+	defaultFlushInterval = 250 * time.Millisecond
+	maxFlushInterval     = 5 * time.Second
+)
+
+// resilienceCounters are the node's registry-backed resilience metrics,
+// resolved once at Listen so the hot path touches only atomics.
+type resilienceCounters struct {
+	retries         *metrics.Counter
+	breakerOpen     *metrics.Counter
+	breakerHalf     *metrics.Counter
+	breakerClose    *metrics.Counter
+	failovers       *metrics.Counter
+	reportsDeferred *metrics.Counter
+	reportsLost     *metrics.Counter
+	outboxSent      *metrics.Counter
+	outboxDepth     *metrics.Gauge
+}
+
+func (c *resilienceCounters) bind(r *metrics.Registry) {
+	c.retries = r.Counter("node_retries_total")
+	c.breakerOpen = r.Counter("node_breaker_open_total")
+	c.breakerHalf = r.Counter("node_breaker_halfopen_total")
+	c.breakerClose = r.Counter("node_breaker_close_total")
+	c.failovers = r.Counter("node_failover_total")
+	c.reportsDeferred = r.Counter("node_reports_deferred_total")
+	c.reportsLost = r.Counter("node_reports_lost_total")
+	c.outboxSent = r.Counter("node_outbox_sent_total")
+	c.outboxDepth = r.Gauge("node_outbox_depth")
+}
+
+// Metrics returns the node's resilience metrics registry (the one passed in
+// Options.Metrics, or the node's private one).
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// probeTimeout returns the current probe deadline (thread-safe).
+func (n *Node) probeTimeout() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.opts.ProbeTimeout
+}
+
+// AttachBook binds book to the node's resilience machinery: the node's
+// breaker config is applied to the book's per-agent breakers, and the outbox
+// flusher consults those breakers so deferred reports are only re-attempted
+// against agents currently believed healthy.
+func (n *Node) AttachBook(book *AgentBook) {
+	book.SetBreakerConfig(n.opts.Breaker)
+	n.bookMu.Lock()
+	n.book = book
+	n.bookMu.Unlock()
+	n.kickFlush()
+}
+
+func (n *Node) attachedBook() *AgentBook {
+	n.bookMu.Lock()
+	defer n.bookMu.Unlock()
+	return n.book
+}
+
+// noteSuccess feeds one successful end-to-end exchange with an agent into its
+// breaker. A breaker closing again is a recovery: the flusher is kicked so
+// deferred reports for that agent drain immediately.
+func (n *Node) noteSuccess(book *AgentBook, id pkc.NodeID) {
+	if book == nil {
+		return
+	}
+	if book.RecordSuccess(id) {
+		n.cnt.breakerClose.Inc()
+		n.kickFlush()
+	}
+}
+
+// noteFailure feeds one failed exchange into the agent's breaker. When this
+// failure trips the breaker open the agent is demoted (§3.4.3 offline
+// handling) and the first healthy backup is promoted in its place, keeping
+// the book at strength (§3.6's replacement liveness argument).
+func (n *Node) noteFailure(book *AgentBook, id pkc.NodeID) {
+	if book == nil {
+		return
+	}
+	if !book.RecordFailure(id) {
+		return
+	}
+	n.cnt.breakerOpen.Inc()
+	if !book.Demote(id) {
+		return // already out of the active book (e.g. a failed backup probe)
+	}
+	if _, ok := n.promoteBackup(book); ok {
+		n.cnt.failovers.Inc()
+	}
+}
+
+// promoteBackup restores the most recently demoted backup whose breaker is
+// closed (believed healthy). It returns the promoted agent's ID.
+func (n *Node) promoteBackup(book *AgentBook) (pkc.NodeID, bool) {
+	for _, id := range book.Backups() {
+		if book.BreakerState(id) != resilience.BreakerClosed {
+			continue
+		}
+		if book.Restore(id) {
+			return id, true
+		}
+	}
+	return pkc.NodeID{}, false
+}
+
+// ProbeBackups probes every backup agent with one short trust request (§3.4.3:
+// "the peer first probes all back up agents") and restores responsive ones to
+// the book. Each probe respects the backup's breaker — an open breaker inside
+// its cooldown is skipped; one past cooldown gets the half-open slot. The
+// restored agents' IDs are returned.
+func (n *Node) ProbeBackups(book *AgentBook, replyOnion *onion.Onion) []pkc.NodeID {
+	var restored []pkc.NodeID
+	for _, id := range book.Backups() {
+		info, ok := book.BackupInfo(id)
+		if !ok {
+			continue
+		}
+		allow, probe := book.Allow(id)
+		if !allow {
+			continue
+		}
+		if probe {
+			n.cnt.breakerHalf.Inc()
+		}
+		// The subject is immaterial — the round trip itself is the probe.
+		if _, _, err := n.requestTrust(info, id, replyOnion, 1, n.probeTimeout()); err != nil {
+			n.noteFailure(book, id)
+			continue
+		}
+		n.noteSuccess(book, id)
+		if book.Restore(id) {
+			restored = append(restored, id)
+		}
+	}
+	return restored
+}
+
+// reportOrDefer delivers one transaction report, or queues it in the outbox:
+// immediately when the agent's breaker is not closed (sending through an
+// onion cannot observe a dead terminal agent, so breaker state is the only
+// trustworthy health signal), or after a real first-hop send failure.
+func (n *Node) reportOrDefer(book *AgentBook, a AgentInfo, subject pkc.NodeID, positive bool) error {
+	id := a.ID()
+	if book != nil && book.BreakerState(id) != resilience.BreakerClosed {
+		n.deferReport(a, subject, positive)
+		return nil
+	}
+	if err := n.ReportTransaction(a, subject, positive); err != nil {
+		n.noteFailure(book, id)
+		n.deferReport(a, subject, positive)
+		return err
+	}
+	return nil
+}
+
+// deferReport queues a report for the outbox flusher. The payload is the
+// agent's full descriptor plus the report parameters; the report itself is
+// re-signed with a fresh nonce at delivery time, so nothing stale is replayed.
+func (n *Node) deferReport(a AgentInfo, subject pkc.NodeID, positive bool) {
+	var e wire.Encoder
+	e.String(EncodeInfo(a)).Bytes(subject[:]).Bool(positive)
+	evicted, err := n.outbox.Enqueue(a.ID().String(), e.Encode())
+	if evicted > 0 {
+		n.cnt.reportsLost.Add(int64(evicted))
+		n.stats.reportsLost.Add(int64(evicted))
+	}
+	if err != nil {
+		n.cnt.reportsLost.Inc()
+		n.stats.reportsLost.Add(1)
+		return
+	}
+	n.cnt.reportsDeferred.Inc()
+	n.stats.reportsDeferred.Add(1)
+	n.cnt.outboxDepth.Set(int64(n.outbox.Depth()))
+}
+
+// decodeDeferredReport parses an outbox payload written by deferReport.
+func decodeDeferredReport(payload []byte) (AgentInfo, pkc.NodeID, bool, error) {
+	d := wire.NewDecoder(payload)
+	desc := d.String()
+	subjRaw := d.Bytes()
+	positive := d.Bool()
+	if err := d.Finish(); err != nil {
+		return AgentInfo{}, pkc.NodeID{}, false, err
+	}
+	if len(subjRaw) != pkc.NodeIDSize {
+		return AgentInfo{}, pkc.NodeID{}, false, ErrBadMessage
+	}
+	info, err := DecodeInfo(desc)
+	if err != nil {
+		return AgentInfo{}, pkc.NodeID{}, false, err
+	}
+	var subject pkc.NodeID
+	copy(subject[:], subjRaw)
+	return info, subject, positive, nil
+}
+
+// kickFlush nudges the flusher without blocking (it coalesces).
+func (n *Node) kickFlush() {
+	select {
+	case n.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop drains the outbox in the background: on a base cadence, on
+// kicks (a breaker closing, a fresh deferral), with exponential backoff while
+// deliveries keep failing so a dead agent stays cheap.
+func (n *Node) flushLoop() {
+	defer n.outboxWG.Done()
+	base := n.opts.OutboxFlushInterval
+	backoff := base
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.closeCh:
+			return
+		case <-n.flushCh:
+		case <-timer.C:
+		}
+		_, failed := n.flushOutbox()
+		if failed > 0 {
+			backoff *= 2
+			if backoff > maxFlushInterval {
+				backoff = maxFlushInterval
+			}
+		} else {
+			backoff = base
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(backoff)
+	}
+}
+
+// flushOutbox attempts one pass over the queued reports. Entries whose agent
+// breaker is not closed are left queued (counted as blocked so the loop backs
+// off); undecodable entries are dropped as lost.
+func (n *Node) flushOutbox() (sent, blocked int) {
+	book := n.attachedBook()
+	for _, e := range n.outbox.Pending() {
+		if n.isClosed() {
+			break
+		}
+		info, subject, positive, err := decodeDeferredReport(e.Payload)
+		if err != nil {
+			_ = n.outbox.Ack(e.Seq)
+			n.cnt.reportsLost.Inc()
+			n.stats.reportsLost.Add(1)
+			continue
+		}
+		if book != nil && book.BreakerState(info.ID()) != resilience.BreakerClosed {
+			blocked++
+			continue
+		}
+		if err := n.ReportTransaction(info, subject, positive); err != nil {
+			blocked++
+			n.noteFailure(book, info.ID())
+			continue
+		}
+		_ = n.outbox.Ack(e.Seq)
+		sent++
+		n.cnt.outboxSent.Inc()
+	}
+	n.cnt.outboxDepth.Set(int64(n.outbox.Depth()))
+	return sent, blocked
+}
+
+// OutboxDepth returns the number of reports currently queued for redelivery.
+func (n *Node) OutboxDepth() int { return n.outbox.Depth() }

@@ -18,13 +18,16 @@ type Stats struct {
 	TrustServed     int64 // trust requests answered as an agent
 	ReportsStored   int64 // reports accepted into the agent store
 	WalksAnswered   int64 // agent-list walks answered
+	ReportsDeferred int64 // reports queued in the outbox instead of sent
+	ReportsLost     int64 // reports dropped (outbox eviction or corruption)
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d",
+	return fmt.Sprintf("frames=%d bad=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d",
 		s.FramesIn, s.FramesBad, s.OnionsForwarded, s.OnionsExited,
-		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered)
+		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
+		s.ReportsDeferred, s.ReportsLost)
 }
 
 // nodeStats is the atomic backing store.
@@ -32,6 +35,7 @@ type nodeStats struct {
 	framesIn, framesBad                          atomic.Int64
 	onionsForwarded, onionsExited, onionsRejcted atomic.Int64
 	trustServed, reportsStored, walksAnswered    atomic.Int64
+	reportsDeferred, reportsLost                 atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters.
@@ -45,6 +49,8 @@ func (n *Node) Stats() Stats {
 		TrustServed:     n.stats.trustServed.Load(),
 		ReportsStored:   n.stats.reportsStored.Load(),
 		WalksAnswered:   n.stats.walksAnswered.Load(),
+		ReportsDeferred: n.stats.reportsDeferred.Load(),
+		ReportsLost:     n.stats.reportsLost.Load(),
 	}
 }
 

@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed lets traffic through; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen blocks traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between Closed and a fresh Open cooldown.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// Breaker defaults: three consecutive failures trip the circuit, and a
+// tripped peer is left alone for 30s before one probe is risked.
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 30 * time.Second
+)
+
+// BreakerConfig tunes a circuit breaker. The zero value means defaults.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker.
+	Threshold int
+	// Cooldown is how long an open breaker blocks before allowing a
+	// half-open probe.
+	Cooldown time.Duration
+	// Now is the clock, swapped out by tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = defaultBreakerThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = defaultBreakerCooldown
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is one peer's circuit breaker: closed → open after Threshold
+// consecutive failures → half-open after Cooldown (one probe at a time) →
+// closed again on probe success, or back to open on probe failure.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.normalized()}
+}
+
+// State returns the breaker's stored position without advancing it: an open
+// breaker whose cooldown has elapsed still reads Open until an Allow call
+// claims the probe. Use State for non-probing gates (e.g. "only flush the
+// outbox to peers currently believed healthy") and Allow on request paths.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. When it returns
+// probe == true the caller holds the single half-open probe slot and MUST
+// report the outcome via Success or Failure, or the breaker stays half-open
+// blocked until someone does.
+func (b *Breaker) Allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// Success records a successful request. It reports whether this call closed
+// a previously non-closed breaker (a recovery transition).
+func (b *Breaker) Success() (closedNow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		return true
+	}
+	return false
+}
+
+// Failure records a failed request. It reports whether this call opened the
+// breaker (from closed over the threshold, or a failed half-open probe).
+func (b *Breaker) Failure() (openedNow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.Now()
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+		b.probing = false
+		b.fails = b.cfg.Threshold
+		return true
+	default: // BreakerOpen: a straggler failure does not extend the cooldown
+		return false
+	}
+}
+
+// Breakers is a keyed set of circuit breakers sharing one config, e.g. one
+// per reputation agent in a trusted-agent book.
+type Breakers[K comparable] struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[K]*Breaker
+}
+
+// NewBreakers builds an empty breaker set.
+func NewBreakers[K comparable](cfg BreakerConfig) *Breakers[K] {
+	return &Breakers[K]{cfg: cfg.normalized(), m: make(map[K]*Breaker)}
+}
+
+// Get returns key's breaker, creating a closed one on first use.
+func (s *Breakers[K]) Get(key K) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil {
+		b = NewBreaker(s.cfg)
+		s.m[key] = b
+	}
+	return b
+}
+
+// SetConfig replaces the config for existing and future breakers. Existing
+// state (positions, failure counts) is kept.
+func (s *Breakers[K]) SetConfig(cfg BreakerConfig) {
+	cfg = cfg.normalized()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = cfg
+	for _, b := range s.m {
+		b.mu.Lock()
+		b.cfg = cfg
+		b.mu.Unlock()
+	}
+}
+
+// Forget drops key's breaker (e.g. a banned agent that will never return).
+func (s *Breakers[K]) Forget(key K) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}

@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	if b.State() != BreakerClosed {
+		t.Fatal("not closed at start")
+	}
+	if b.Failure() || b.Failure() {
+		t.Fatal("opened before threshold")
+	}
+	if !b.Failure() {
+		t.Fatal("did not open at threshold")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker allowed a request")
+	}
+	// Extra failures while open are not new transitions.
+	if b.Failure() {
+		t.Fatal("already-open breaker reported opening again")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	if b.Success() {
+		t.Fatal("success on a closed breaker is not a recovery transition")
+	}
+	// The streak restarted: two more failures must not trip it.
+	if b.Failure() || b.Failure() {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	if !b.Failure() {
+		t.Fatal("threshold consecutive failures did not trip")
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("allowed during cooldown")
+	}
+	clk.advance(time.Minute)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("cooldown elapsed: ok=%v probe=%v", ok, probe)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v", b.State())
+	}
+	// Only one probe slot.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Failed probe: back to open for a fresh cooldown.
+	if !b.Failure() {
+		t.Fatal("failed probe did not re-open")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("allowed right after failed probe")
+	}
+	clk.advance(time.Minute)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("second probe window did not open")
+	}
+	// Successful probe closes.
+	if !b.Success() {
+		t.Fatal("probe success was not a recovery transition")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v", b.State())
+	}
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatal("closed breaker should allow without probing")
+	}
+}
+
+func TestBreakersSetSharesConfigAndForget(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s := NewBreakers[string](BreakerConfig{Threshold: 1, Cooldown: time.Hour, Now: clk.now})
+	a := s.Get("a")
+	if s.Get("a") != a {
+		t.Fatal("Get did not return the same breaker")
+	}
+	a.Failure()
+	if a.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open")
+	}
+	// Config replacement reaches existing breakers: shorten the cooldown.
+	s.SetConfig(BreakerConfig{Threshold: 1, Cooldown: time.Millisecond, Now: clk.now})
+	clk.advance(time.Second)
+	if ok, probe := a.Allow(); !ok || !probe {
+		t.Fatal("shortened cooldown not applied to existing breaker")
+	}
+	s.Forget("a")
+	if s.Get("a") == a {
+		t.Fatal("Forget kept the old breaker")
+	}
+	if s.Get("a").State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.normalized()
+	if cfg.Threshold != defaultBreakerThreshold || cfg.Cooldown != defaultBreakerCooldown || cfg.Now == nil {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	for want, s := range map[string]BreakerState{
+		"closed": BreakerClosed, "open": BreakerOpen, "half-open": BreakerHalfOpen} {
+		if s.String() != want {
+			t.Fatalf("String(%d) = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package resilience
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hirep/internal/xrand"
+)
+
+// Dialer is the node's pluggable transport connector: it dials addr within
+// timeout and returns a connected stream. The live node defaults to TCP
+// (NetDialer); chaos tests substitute a FaultDialer.
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+// NetDialer returns the production dialer for a network ("tcp").
+func NetDialer(network string) Dialer {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		return net.DialTimeout(network, addr, timeout)
+	}
+}
+
+// FaultMode selects how a FaultDialer sabotages a dial.
+type FaultMode uint8
+
+const (
+	// FaultNone passes the dial through untouched.
+	FaultNone FaultMode = iota
+	// FaultDrop fails the dial immediately (connection refused).
+	FaultDrop
+	// FaultDelay holds the dial for Rule.Delay, then connects normally —
+	// still honoring the dial timeout.
+	FaultDelay
+	// FaultReset returns a connection whose reads and writes fail with a
+	// reset error, as if the peer sent RST after accept.
+	FaultReset
+	// FaultBlackHole returns a connection that swallows writes and never
+	// delivers reads: the peer appears reachable but is gone. Reads block
+	// until the read deadline (or Close) and then time out.
+	FaultBlackHole
+)
+
+// String names the mode for logs and stats.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultReset:
+		return "reset"
+	case FaultBlackHole:
+		return "black-hole"
+	default:
+		return "invalid"
+	}
+}
+
+// FaultRule is one injection rule. Prob in (0,1) fires the fault on that
+// fraction of dials; Prob <= 0 or >= 1 fires it on every dial.
+type FaultRule struct {
+	Mode  FaultMode
+	Prob  float64
+	Delay time.Duration // FaultDelay only
+}
+
+// Errors surfaced by injected faults. They satisfy net.Error where the real
+// failure would (timeouts), so retry classification sees realistic shapes.
+var (
+	ErrInjectedRefused = errors.New("resilience: injected connection refused")
+	ErrInjectedReset   = errors.New("resilience: injected connection reset")
+)
+
+// FaultStats counts what a FaultDialer has done.
+type FaultStats struct {
+	Dials      int64 // total Dial calls
+	Dropped    int64
+	Delayed    int64
+	Reset      int64
+	BlackHoled int64
+}
+
+// FaultDialer wraps a base Dialer with deterministic, per-address fault
+// injection, seeded through internal/xrand so a chaos run replays exactly
+// from its seed. Share one FaultDialer across every node of a test fleet and
+// an address rule partitions that node from the whole world at the TCP
+// layer.
+type FaultDialer struct {
+	base Dialer
+
+	mu    sync.Mutex
+	rng   *xrand.RNG
+	rules map[string]FaultRule
+	def   FaultRule
+
+	dials, dropped, delayed, reset, blackholed atomic.Int64
+}
+
+// NewFaultDialer wraps base (nil means NetDialer("tcp")) with the given
+// jitter/fault seed.
+func NewFaultDialer(base Dialer, seed int64) *FaultDialer {
+	if base == nil {
+		base = NetDialer("tcp")
+	}
+	return &FaultDialer{base: base, rng: xrand.New(seed), rules: make(map[string]FaultRule)}
+}
+
+// SetRule installs (or replaces) the rule for one address.
+func (f *FaultDialer) SetRule(addr string, r FaultRule) {
+	f.mu.Lock()
+	f.rules[addr] = r
+	f.mu.Unlock()
+}
+
+// SetDefault installs the rule applied to addresses without a specific one.
+func (f *FaultDialer) SetDefault(r FaultRule) {
+	f.mu.Lock()
+	f.def = r
+	f.mu.Unlock()
+}
+
+// Clear removes addr's rule, restoring healthy dials to it.
+func (f *FaultDialer) Clear(addr string) {
+	f.mu.Lock()
+	delete(f.rules, addr)
+	f.mu.Unlock()
+}
+
+// BlackHole is shorthand for SetRule(addr, every dial black-holed) — the
+// "agent was killed" primitive of the chaos tests.
+func (f *FaultDialer) BlackHole(addr string) {
+	f.SetRule(addr, FaultRule{Mode: FaultBlackHole})
+}
+
+// Stats returns the injection counters.
+func (f *FaultDialer) Stats() FaultStats {
+	return FaultStats{
+		Dials:      f.dials.Load(),
+		Dropped:    f.dropped.Load(),
+		Delayed:    f.delayed.Load(),
+		Reset:      f.reset.Load(),
+		BlackHoled: f.blackholed.Load(),
+	}
+}
+
+// Dial implements Dialer with the configured faults.
+func (f *FaultDialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	f.dials.Add(1)
+	f.mu.Lock()
+	rule, ok := f.rules[addr]
+	if !ok {
+		rule = f.def
+	}
+	fire := rule.Mode != FaultNone
+	if fire && rule.Prob > 0 && rule.Prob < 1 {
+		fire = f.rng.Float64() < rule.Prob
+	}
+	f.mu.Unlock()
+	if !fire {
+		return f.base(addr, timeout)
+	}
+	switch rule.Mode {
+	case FaultDrop:
+		f.dropped.Add(1)
+		return nil, ErrInjectedRefused
+	case FaultDelay:
+		f.delayed.Add(1)
+		d := rule.Delay
+		if timeout > 0 && d >= timeout {
+			time.Sleep(timeout)
+			return nil, &timeoutError{op: "dial", addr: addr}
+		}
+		time.Sleep(d)
+		return f.base(addr, timeout)
+	case FaultReset:
+		f.reset.Add(1)
+		return &resetConn{addr: addr}, nil
+	case FaultBlackHole:
+		f.blackholed.Add(1)
+		return newBlackHoleConn(addr), nil
+	default:
+		return f.base(addr, timeout)
+	}
+}
+
+// timeoutError is an injected net.Error with Timeout() == true.
+type timeoutError struct{ op, addr string }
+
+func (e *timeoutError) Error() string {
+	return "resilience: injected " + e.op + " timeout to " + e.addr
+}
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// faultAddr satisfies net.Addr for injected connections.
+type faultAddr string
+
+func (a faultAddr) Network() string { return "fault" }
+func (a faultAddr) String() string  { return string(a) }
+
+// resetConn is an "established" connection that resets on first use.
+type resetConn struct {
+	addr   string
+	closed atomic.Bool
+}
+
+func (c *resetConn) Read([]byte) (int, error)           { return 0, ErrInjectedReset }
+func (c *resetConn) Write(b []byte) (int, error)        { return 0, ErrInjectedReset }
+func (c *resetConn) Close() error                       { c.closed.Store(true); return nil }
+func (c *resetConn) LocalAddr() net.Addr                { return faultAddr("fault:local") }
+func (c *resetConn) RemoteAddr() net.Addr               { return faultAddr(c.addr) }
+func (c *resetConn) SetDeadline(time.Time) error        { return nil }
+func (c *resetConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *resetConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// blackHoleConn swallows writes and never produces reads. A read blocks
+// until the configured read deadline (or Close) and then reports a timeout,
+// mirroring a peer that vanished without closing the connection.
+type blackHoleConn struct {
+	addr   string
+	mu     sync.Mutex
+	rdline time.Time
+	done   chan struct{}
+	once   sync.Once
+}
+
+func newBlackHoleConn(addr string) *blackHoleConn {
+	return &blackHoleConn{addr: addr, done: make(chan struct{})}
+}
+
+func (c *blackHoleConn) Read([]byte) (int, error) {
+	c.mu.Lock()
+	deadline := c.rdline
+	c.mu.Unlock()
+	if deadline.IsZero() {
+		<-c.done
+		return 0, net.ErrClosed
+	}
+	wait := time.Until(deadline)
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-c.done:
+			return 0, net.ErrClosed
+		case <-t.C:
+		}
+	}
+	return 0, &timeoutError{op: "read", addr: c.addr}
+}
+
+func (c *blackHoleConn) Write(b []byte) (int, error) {
+	select {
+	case <-c.done:
+		return 0, net.ErrClosed
+	default:
+		return len(b), nil
+	}
+}
+
+func (c *blackHoleConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+func (c *blackHoleConn) LocalAddr() net.Addr  { return faultAddr("fault:local") }
+func (c *blackHoleConn) RemoteAddr() net.Addr { return faultAddr(c.addr) }
+
+func (c *blackHoleConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+func (c *blackHoleConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdline = t
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *blackHoleConn) SetWriteDeadline(time.Time) error { return nil }

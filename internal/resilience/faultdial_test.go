@@ -1,0 +1,208 @@
+package resilience
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts one connection at a time and echoes a byte.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				if _, err := c.Read(buf); err == nil {
+					_, _ = c.Write(buf)
+				}
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func TestFaultDialerPassThrough(t *testing.T) {
+	ln := echoListener(t)
+	fd := NewFaultDialer(nil, 7)
+	conn, err := fd.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(buf); err != nil || buf[0] != 42 {
+		t.Fatalf("echo failed: %v %v", buf, err)
+	}
+	if s := fd.Stats(); s.Dials != 1 || s.Dropped+s.Delayed+s.Reset+s.BlackHoled != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFaultDialerDrop(t *testing.T) {
+	ln := echoListener(t)
+	fd := NewFaultDialer(nil, 7)
+	fd.SetRule(ln.Addr().String(), FaultRule{Mode: FaultDrop})
+	if _, err := fd.Dial(ln.Addr().String(), time.Second); !errors.Is(err, ErrInjectedRefused) {
+		t.Fatalf("want injected refusal, got %v", err)
+	}
+	// Clear restores service.
+	fd.Clear(ln.Addr().String())
+	conn, err := fd.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if s := fd.Stats(); s.Dropped != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFaultDialerDelay(t *testing.T) {
+	ln := echoListener(t)
+	fd := NewFaultDialer(nil, 7)
+	fd.SetRule(ln.Addr().String(), FaultRule{Mode: FaultDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	conn, err := fd.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+	// A delay beyond the dial timeout surfaces as a dial timeout.
+	fd.SetRule(ln.Addr().String(), FaultRule{Mode: FaultDelay, Delay: time.Second})
+	_, err = fd.Dial(ln.Addr().String(), 20*time.Millisecond)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+}
+
+func TestFaultDialerReset(t *testing.T) {
+	fd := NewFaultDialer(nil, 7)
+	fd.SetRule("10.0.0.1:1", FaultRule{Mode: FaultReset})
+	conn, err := fd.Dial("10.0.0.1:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read: %v", err)
+	}
+}
+
+func TestFaultDialerBlackHole(t *testing.T) {
+	fd := NewFaultDialer(nil, 7)
+	fd.BlackHole("10.0.0.1:1")
+	conn, err := fd.Dial("10.0.0.1:1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Writes are swallowed successfully.
+	if n, err := conn.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("write swallow: %d %v", n, err)
+	}
+	// Reads block until the deadline, then time out.
+	_ = conn.SetDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("read returned before the deadline")
+	}
+	// Close unblocks a deadline-less read.
+	conn2, _ := fd.Dial("10.0.0.1:1", time.Second)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn2.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	conn2.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("read after close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock the read")
+	}
+}
+
+func TestFaultDialerProbabilisticDeterminism(t *testing.T) {
+	// Same seed, same dial sequence → same fault decisions. The base dialer
+	// is stubbed out so only the injection decision is observed.
+	base := func(string, time.Duration) (net.Conn, error) {
+		return nil, errors.New("stub base dial")
+	}
+	run := func(seed int64) []bool {
+		fd := NewFaultDialer(base, seed)
+		fd.SetDefault(FaultRule{Mode: FaultDrop, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := fd.Dial("10.0.0.1:1", time.Millisecond)
+			out[i] = errors.Is(err, ErrInjectedRefused)
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	dropsA := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dial %d", i)
+		}
+		if a[i] {
+			dropsA++
+		}
+	}
+	if dropsA == 0 || dropsA == len(a) {
+		t.Fatalf("Prob=0.5 dropped %d of %d", dropsA, len(a))
+	}
+	if c := run(100); equalBools(a, c) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFaultModeStrings(t *testing.T) {
+	want := map[FaultMode]string{
+		FaultNone: "none", FaultDrop: "drop", FaultDelay: "delay",
+		FaultReset: "reset", FaultBlackHole: "black-hole"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("FaultMode(%d).String() = %q", m, m.String())
+		}
+	}
+}

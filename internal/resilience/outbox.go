@@ -1,0 +1,349 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Outbox is a bounded FIFO queue of messages that could not be delivered and
+// must survive until they can be — and, when backed by a journal file,
+// survive a process restart too. The node queues failed transaction reports
+// here and a flusher drains them with backoff once the target is healthy
+// again.
+//
+// Journal format: a sequence of CRC-framed records,
+//
+//	u32le payload length | u32le CRC32C(payload) | payload
+//
+// where the payload is either an add record (kind 1: seq, key, body) or an
+// ack record (kind 2: seq). Pending = adds minus acks; a torn tail (crash
+// mid-append) truncates to the last intact frame, so an entry is either
+// durably queued or was never acknowledged as queued — never half-present.
+// Acked entries are physically removed by compaction (rewrite + rename),
+// which runs at open and when acks accumulate.
+type Outbox struct {
+	mu       sync.Mutex
+	capacity int
+	path     string   // "" = memory only
+	f        *os.File // nil = memory only
+	entries  []Entry  // pending, FIFO by Seq
+	nextSeq  uint64
+	acked    int    // acks appended since the last compaction
+	dropped  uint64 // entries evicted by the capacity bound
+	closed   bool
+}
+
+// Entry is one queued message. Key identifies the destination (the node uses
+// the agent's ID string) so callers can gate flushing per target; Payload is
+// opaque to the outbox.
+type Entry struct {
+	Seq     uint64
+	Key     string
+	Payload []byte
+}
+
+// Outbox limits.
+const (
+	defaultOutboxCap = 1024
+	// maxOutboxPayload bounds one journal frame so a corrupt length field
+	// cannot force a huge allocation at replay.
+	maxOutboxPayload = 1 << 20
+	// compactAfterAcks triggers a journal rewrite once this many acks have
+	// been appended since the last compaction.
+	compactAfterAcks = 256
+
+	outboxFrameHeader = 8
+	outboxKindAdd     = byte(1)
+	outboxKindAck     = byte(2)
+)
+
+var outboxCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrOutboxClosed is returned by operations on a closed outbox.
+var ErrOutboxClosed = errors.New("resilience: outbox closed")
+
+// OpenOutbox opens (or creates) an outbox journaled at path, replaying any
+// pending entries from a previous run. An empty path keeps the queue in
+// memory only. capacity <= 0 uses the default (1024); when the queue is
+// full, the oldest entry is evicted to admit the newest.
+func OpenOutbox(path string, capacity int) (*Outbox, error) {
+	if capacity <= 0 {
+		capacity = defaultOutboxCap
+	}
+	o := &Outbox{capacity: capacity, path: path, nextSeq: 1}
+	if path == "" {
+		return o, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("resilience: outbox dir: %w", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("resilience: read outbox: %w", err)
+	}
+	pending, maxSeq := replayOutbox(buf)
+	o.entries = pending
+	o.nextSeq = maxSeq + 1
+	// Rewrite the journal to just the pending set: drops acked/torn garbage
+	// and leaves a clean file even after a crash mid-compaction (the rename
+	// below is atomic; a crash before it keeps the old journal intact).
+	if err := o.compactLocked(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// replayOutbox scans a journal image and returns the pending entries in
+// queue order plus the highest sequence number seen. Torn or corrupt tails
+// end the scan, exactly like the repstore WAL.
+func replayOutbox(buf []byte) ([]Entry, uint64) {
+	adds := make(map[uint64]Entry)
+	var order []uint64
+	var maxSeq uint64
+	off := 0
+	for {
+		if len(buf)-off < outboxFrameHeader {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		crc := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+		if n > maxOutboxPayload || len(buf)-off-outboxFrameHeader < n {
+			break
+		}
+		p := buf[off+outboxFrameHeader : off+outboxFrameHeader+n]
+		if crc32.Checksum(p, outboxCRC) != crc {
+			break
+		}
+		off += outboxFrameHeader + n
+		e, ack, ok := decodeOutboxRecord(p)
+		if !ok {
+			break
+		}
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+		if ack {
+			delete(adds, e.Seq)
+			continue
+		}
+		if _, dup := adds[e.Seq]; !dup {
+			order = append(order, e.Seq)
+		}
+		adds[e.Seq] = e
+	}
+	var pending []Entry
+	for _, seq := range order {
+		if e, ok := adds[seq]; ok {
+			pending = append(pending, e)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+	return pending, maxSeq
+}
+
+// decodeOutboxRecord parses one frame payload; ack is true for ack records.
+func decodeOutboxRecord(p []byte) (e Entry, ack, ok bool) {
+	if len(p) < 9 {
+		return Entry{}, false, false
+	}
+	kind := p[0]
+	seq := binary.LittleEndian.Uint64(p[1:9])
+	switch kind {
+	case outboxKindAck:
+		if len(p) != 9 {
+			return Entry{}, false, false
+		}
+		return Entry{Seq: seq}, true, true
+	case outboxKindAdd:
+		rest := p[9:]
+		if len(rest) < 4 {
+			return Entry{}, false, false
+		}
+		klen := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if klen < 0 || klen > len(rest) {
+			return Entry{}, false, false
+		}
+		key := string(rest[:klen])
+		body := append([]byte(nil), rest[klen:]...)
+		return Entry{Seq: seq, Key: key, Payload: body}, false, true
+	default:
+		return Entry{}, false, false
+	}
+}
+
+// encodeOutboxAdd frames an add record for e.
+func encodeOutboxAdd(e Entry) []byte {
+	p := make([]byte, 0, 13+len(e.Key)+len(e.Payload))
+	p = append(p, outboxKindAdd)
+	p = binary.LittleEndian.AppendUint64(p, e.Seq)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(e.Key)))
+	p = append(p, e.Key...)
+	p = append(p, e.Payload...)
+	return frameOutbox(p)
+}
+
+// encodeOutboxAck frames an ack record for seq.
+func encodeOutboxAck(seq uint64) []byte {
+	p := make([]byte, 0, 9)
+	p = append(p, outboxKindAck)
+	p = binary.LittleEndian.AppendUint64(p, seq)
+	return frameOutbox(p)
+}
+
+func frameOutbox(payload []byte) []byte {
+	out := make([]byte, 0, outboxFrameHeader+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, outboxCRC))
+	return append(out, payload...)
+}
+
+// appendLocked durably appends one frame. Caller holds o.mu.
+func (o *Outbox) appendLocked(frame []byte) error {
+	if o.f == nil {
+		return nil
+	}
+	if _, err := o.f.Write(frame); err != nil {
+		return fmt.Errorf("resilience: outbox append: %w", err)
+	}
+	if err := o.f.Sync(); err != nil {
+		return fmt.Errorf("resilience: outbox sync: %w", err)
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal with only the pending entries, via
+// temp file + atomic rename. Caller holds o.mu (or owns o exclusively).
+func (o *Outbox) compactLocked() error {
+	if o.path == "" {
+		return nil
+	}
+	var buf []byte
+	for _, e := range o.entries {
+		buf = append(buf, encodeOutboxAdd(e)...)
+	}
+	tmp := o.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("resilience: outbox compact: %w", err)
+	}
+	if err := os.Rename(tmp, o.path); err != nil {
+		return fmt.Errorf("resilience: outbox rename: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(o.path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	if o.f != nil {
+		_ = o.f.Close()
+	}
+	f, err := os.OpenFile(o.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resilience: reopen outbox: %w", err)
+	}
+	o.f = f
+	o.acked = 0
+	return nil
+}
+
+// Enqueue appends a message. When the queue is at capacity the oldest entry
+// is evicted first; evicted reports the number of entries lost that way (0
+// or 1). The entry is durable (journaled + fsynced) before Enqueue returns.
+func (o *Outbox) Enqueue(key string, payload []byte) (evicted int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, ErrOutboxClosed
+	}
+	for len(o.entries) >= o.capacity {
+		old := o.entries[0]
+		o.entries = o.entries[1:]
+		o.dropped++
+		evicted++
+		o.acked++
+		if err := o.appendLocked(encodeOutboxAck(old.Seq)); err != nil {
+			return evicted, err
+		}
+	}
+	e := Entry{Seq: o.nextSeq, Key: key, Payload: append([]byte(nil), payload...)}
+	o.nextSeq++
+	if err := o.appendLocked(encodeOutboxAdd(e)); err != nil {
+		return evicted, err
+	}
+	o.entries = append(o.entries, e)
+	return evicted, nil
+}
+
+// Ack removes a delivered (or abandoned) entry by sequence number.
+func (o *Outbox) Ack(seq uint64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrOutboxClosed
+	}
+	found := false
+	for i, e := range o.entries {
+		if e.Seq == seq {
+			o.entries = append(o.entries[:i], o.entries[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	o.acked++
+	if err := o.appendLocked(encodeOutboxAck(seq)); err != nil {
+		return err
+	}
+	if o.acked >= compactAfterAcks {
+		return o.compactLocked()
+	}
+	return nil
+}
+
+// Pending returns a snapshot of the queued entries in FIFO order. Payloads
+// are shared, not copied; treat them as read-only.
+func (o *Outbox) Pending() []Entry {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Entry(nil), o.entries...)
+}
+
+// Depth returns the number of queued entries.
+func (o *Outbox) Depth() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.entries)
+}
+
+// Dropped returns the total entries evicted by the capacity bound.
+func (o *Outbox) Dropped() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.dropped
+}
+
+// Close compacts and releases the journal. Pending entries stay on disk for
+// the next open.
+func (o *Outbox) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	err := o.compactLocked()
+	if o.f != nil {
+		if cerr := o.f.Close(); err == nil {
+			err = cerr
+		}
+		o.f = nil
+	}
+	return err
+}

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOutboxMemoryFIFOAndBound(t *testing.T) {
+	o, err := OpenOutbox("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	for i := byte(0); i < 3; i++ {
+		if ev, err := o.Enqueue("k", []byte{i}); err != nil || ev != 0 {
+			t.Fatalf("enqueue %d: evicted=%d err=%v", i, ev, err)
+		}
+	}
+	// Fourth entry evicts the oldest.
+	ev, err := o.Enqueue("k", []byte{3})
+	if err != nil || ev != 1 {
+		t.Fatalf("evicted=%d err=%v", ev, err)
+	}
+	if o.Depth() != 3 || o.Dropped() != 1 {
+		t.Fatalf("depth=%d dropped=%d", o.Depth(), o.Dropped())
+	}
+	got := o.Pending()
+	if len(got) != 3 || got[0].Payload[0] != 1 || got[2].Payload[0] != 3 {
+		t.Fatalf("pending %v", got)
+	}
+	// Ack the middle entry.
+	if err := o.Ack(got[1].Seq); err != nil {
+		t.Fatal(err)
+	}
+	if o.Depth() != 2 {
+		t.Fatalf("depth after ack %d", o.Depth())
+	}
+	// Acking an unknown seq is a no-op.
+	if err := o.Ack(9999); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutboxJournalSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.log")
+	o, err := OpenOutbox(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Enqueue("agent-a", []byte("report-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Enqueue("agent-b", []byte("report-2")); err != nil {
+		t.Fatal(err)
+	}
+	pending := o.Pending()
+	if err := o.Ack(pending[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenOutbox(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Pending()
+	if len(got) != 1 || got[0].Key != "agent-b" || string(got[0].Payload) != "report-2" {
+		t.Fatalf("recovered %+v", got)
+	}
+	// Sequence numbers keep growing after reopen: no reuse of acked seqs.
+	if _, err := re.Enqueue("agent-c", []byte("report-3")); err != nil {
+		t.Fatal(err)
+	}
+	p := re.Pending()
+	if p[1].Seq <= got[0].Seq {
+		t.Fatalf("seq reused: %d then %d", got[0].Seq, p[1].Seq)
+	}
+}
+
+func TestOutboxCrashImageRecovery(t *testing.T) {
+	// Build a journal, then reopen from a byte-for-byte copy taken WITHOUT a
+	// clean Close — the crash case — plus a torn tail.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "outbox.log")
+	o, err := OpenOutbox(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Enqueue("a", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Enqueue("b", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Ack(o.Pending()[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = o.Close()
+
+	crash := filepath.Join(dir, "crash.log")
+	// Torn tail: a half-written frame after the intact prefix.
+	if err := os.WriteFile(crash, append(img, 0xFF, 0x12, 0x03), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenOutbox(crash, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Pending()
+	if len(got) != 1 || got[0].Key != "b" {
+		t.Fatalf("crash recovery pending %+v", got)
+	}
+}
+
+func TestOutboxCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.log")
+	o, err := OpenOutbox(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	// Push enough enqueue/ack churn through to force a compaction cycle.
+	for i := 0; i < compactAfterAcks+8; i++ {
+		if _, err := o.Enqueue("k", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Ack(o.Pending()[0].Seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Depth() != 0 {
+		t.Fatalf("depth %d", o.Depth())
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A compacted empty outbox journal is (near) empty; without compaction it
+	// would hold hundreds of add+ack frames.
+	if st.Size() > 1024 {
+		t.Fatalf("journal not compacted: %d bytes", st.Size())
+	}
+}
+
+func TestOutboxClosedErrors(t *testing.T) {
+	o, err := OpenOutbox("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if _, err := o.Enqueue("k", nil); !errors.Is(err, ErrOutboxClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+	if err := o.Ack(1); !errors.Is(err, ErrOutboxClosed) {
+		t.Fatalf("ack after close: %v", err)
+	}
+}
+
+func FuzzOutboxReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeOutboxAdd(Entry{Seq: 1, Key: "k", Payload: []byte("p")}))
+	f.Add(encodeOutboxAck(1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Replay must never panic and never return unordered pending sets.
+		pending, maxSeq := replayOutbox(data)
+		last := uint64(0)
+		for _, e := range pending {
+			if e.Seq <= last {
+				t.Fatalf("pending out of order: %d after %d", e.Seq, last)
+			}
+			last = e.Seq
+			if e.Seq > maxSeq {
+				t.Fatalf("entry seq %d above reported max %d", e.Seq, maxSeq)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond}, 1)
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	retries := 0
+	r.OnRetry = func(int, error) { retries++ }
+	calls := 0
+	err := r.Do(func(attempt int, _ time.Duration) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || retries != 2 || len(slept) != 2 {
+		t.Fatalf("calls=%d retries=%d sleeps=%d", calls, retries, len(slept))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond}, 1)
+	r.sleep = func(time.Duration) {}
+	want := errors.New("still down")
+	calls := 0
+	err := r.Do(func(int, time.Duration) error { calls++; return want })
+	if !errors.Is(err, want) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond}, 1)
+	r.sleep = func(time.Duration) {}
+	inner := errors.New("bad request")
+	calls := 0
+	err := r.Do(func(int, time.Duration) error { calls++; return Permanent(inner) })
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatalf("err %v does not wrap the inner error", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("IsPermanent lost the marker")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryDelayBoundsAndDeterminism(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	a := NewRetrier(p, 42)
+	b := NewRetrier(p, 42)
+	for i := 0; i < 8; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, da, db)
+		}
+		base := float64(100*time.Millisecond) * float64(int(1)<<i)
+		if base > float64(time.Second) {
+			base = float64(time.Second)
+		}
+		lo, hi := time.Duration(base*0.5), time.Duration(base*1.5)
+		if da < lo || da > hi {
+			t.Fatalf("retry %d delay %v outside [%v, %v]", i, da, lo, hi)
+		}
+	}
+}
+
+func TestRetryDoMaxOverridesBudget(t *testing.T) {
+	r := NewRetrier(RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond}, 1)
+	r.sleep = func(time.Duration) {}
+	calls := 0
+	_ = r.DoMax(1, func(int, time.Duration) error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("DoMax(1) made %d calls", calls)
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.Normalized()
+	if p.Attempts != defaultAttempts || p.BaseDelay != defaultBaseDelay ||
+		p.MaxDelay != defaultMaxDelay || p.Multiplier != defaultMultiplier || p.Jitter != defaultJitter {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	// PerAttempt is threaded through to the op.
+	r := NewRetrier(RetryPolicy{Attempts: 1, PerAttempt: 123 * time.Millisecond}, 1)
+	_ = r.Do(func(_ int, per time.Duration) error {
+		if per != 123*time.Millisecond {
+			t.Fatalf("per-attempt deadline %v", per)
+		}
+		return nil
+	})
+}

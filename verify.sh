@@ -69,4 +69,11 @@ echo "$out"
 echo "== appending run to BENCH_repstore.json"
 record_bench "$out" BENCH_repstore.json
 
+echo "== node benchmarks (retry-wrapper overhead + live protocol paths)"
+out=$(go test -run '^$' -bench 'BenchmarkRoundTrip|BenchmarkLive|BenchmarkRelayHandshake' -benchmem ./internal/node/ 2>&1)
+echo "$out"
+
+echo "== appending run to BENCH_node.json"
+record_bench "$out" BENCH_node.json
+
 echo "verify: OK"
