@@ -21,6 +21,12 @@
 //	          -breaker-cooldown 10s -outbox /var/lib/hirep/outbox.journal \
 //	          -outbox-cap 2048 -quorum 2 -probe-timeout 500ms
 //
+// Tune the connection-pooled transport (DESIGN.md §9) — pooled connections
+// per peer, multiplexed streams per connection, idle reaping, and the
+// inbound session cap:
+//
+//	hirepnode -pool-size 4 -max-streams 128 -idle-timeout 30s -max-sessions 512
+//
 // Run the full zero-config demonstration on loopback — an agent, a reporter,
 // a requestor, and a relay chain exchanging onion-routed trust traffic:
 //
@@ -62,6 +68,12 @@ func main() {
 		outboxPath   = flag.String("outbox", "", "journal file for undeliverable reports (empty = in-memory outbox)")
 		outboxCap    = flag.Int("outbox-cap", 0, "max queued reports before oldest is dropped (0 = default 1024)")
 		quorum       = flag.Int("quorum", 1, "minimum agent answers for an evaluation to succeed")
+
+		// Transport knobs (DESIGN.md §9).
+		poolSize    = flag.Int("pool-size", 0, "pooled connections per peer (0 = default 2)")
+		maxStreams  = flag.Int("max-streams", 0, "in-flight streams per pooled connection (0 = default 64)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "idle connection reap timeout (0 = default 60s)")
+		maxSessions = flag.Int("max-sessions", 0, "max concurrently served inbound connections (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -85,6 +97,10 @@ func main() {
 		Breaker:      resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		OutboxPath:   *outboxPath,
 		OutboxCap:    *outboxCap,
+		PoolSize:     *poolSize,
+		MaxStreams:   *maxStreams,
+		IdleTimeout:  *idleTimeout,
+		MaxSessions:  *maxSessions,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -6,6 +6,8 @@ import (
 
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/resilience"
+	"hirep/internal/transport"
 	"hirep/internal/wire"
 )
 
@@ -76,23 +78,56 @@ func BenchmarkLiveReport(b *testing.B) {
 	}
 }
 
-// BenchmarkRoundTripDirect measures one raw frame round trip over loopback
-// (dial, write, read) with no retry wrapper — the baseline for
-// BenchmarkRoundTripRetry.
+// BenchmarkRoundTripDirect measures one legacy one-shot frame round trip
+// over loopback — dial, write, read, close per frame, exactly what the
+// pre-transport node paid on every message. It is the baseline
+// BenchmarkRoundTripPooled is judged against.
 func BenchmarkRoundTripDirect(b *testing.B) {
-	_, peer, _, _ := benchFleet(b)
 	target, err := Listen("127.0.0.1:0", Options{Timeout: 10 * time.Second})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = target.Close() })
+	dial := resilience.NetDialer("tcp")
 	nonce, _ := pkc.NewNonce(nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := peer.roundTripTimeout(target.Addr(), wire.TPing, nonce[:], peer.timeout()); err != nil {
+		if _, _, err := transport.DirectRoundTrip(dial, target.Addr(), wire.TPing, nonce[:], 10*time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRoundTripPooled measures the same frame round trip through the
+// node's pooled, stream-multiplexed transport, with RunParallel keeping
+// many streams in flight the way live protocol traffic does. Throughput
+// (frames/sec) against BenchmarkRoundTripDirect is the transport's
+// amortized win over dial-per-frame.
+func BenchmarkRoundTripPooled(b *testing.B) {
+	target, err := Listen("127.0.0.1:0", Options{Timeout: 10 * time.Second, MaxStreams: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = target.Close() })
+	peer, err := Listen("127.0.0.1:0", Options{Timeout: 10 * time.Second, MaxStreams: 256, PoolSize: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = peer.Close() })
+	nonce, _ := pkc.NewNonce(nil)
+	// Warm: establish the session so negotiation is out of the loop.
+	if _, _, err := peer.roundTripTimeout(target.Addr(), wire.TPing, nonce[:], peer.timeout()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.SetParallelism(32) // many goroutines per proc: keep the stream windows busy
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := peer.roundTripTimeout(target.Addr(), wire.TPing, nonce[:], peer.timeout()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkRoundTripRetry measures the identical round trip through the

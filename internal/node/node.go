@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hirep/internal/agentdir"
@@ -26,6 +27,7 @@ import (
 	"hirep/internal/pkc"
 	"hirep/internal/repstore"
 	"hirep/internal/resilience"
+	"hirep/internal/transport"
 	"hirep/internal/trust"
 	"hirep/internal/wire"
 )
@@ -74,8 +76,23 @@ type Options struct {
 	// keep failing).
 	OutboxFlushInterval time.Duration
 	// Dialer replaces the TCP connector, e.g. with a
-	// resilience.FaultDialer for chaos tests. Nil means real TCP.
+	// resilience.FaultDialer for chaos tests. Nil means real TCP. The
+	// connection pool dials through it, so fault injection bites pooled
+	// sessions exactly as it bit one-shot dials.
 	Dialer resilience.Dialer
+	// PoolSize caps pooled session connections per peer (default 2).
+	PoolSize int
+	// MaxStreams bounds in-flight multiplexed streams per pooled connection
+	// — outbound it is the backpressure window, inbound the per-session
+	// handler cap (default 64).
+	MaxStreams int
+	// IdleTimeout reaps pooled connections (and inbound sessions) that carry
+	// no frame for this long (default 60s).
+	IdleTimeout time.Duration
+	// MaxSessions caps concurrently served inbound connections; beyond it
+	// new connections are closed immediately and counted in
+	// Stats.SessionsShed rather than spawning goroutines (default 256).
+	MaxSessions int
 	// Metrics receives the node's resilience counters (retries, breaker
 	// transitions, failovers, outbox depth). Nil creates a private registry,
 	// readable via Node.Metrics.
@@ -114,8 +131,21 @@ type Node struct {
 	prev    []*pkc.Identity                 // predecessors kept during rotation grace period
 	hs      map[pkc.Nonce]onion.RelayAnswer // outstanding relay handshakes
 	pending map[pkc.Nonce]chan trustResponse
-	closed  bool
+	closed  atomic.Bool // checked on hot paths without taking n.mu
 	wg      sync.WaitGroup
+
+	// Transport plumbing: the outbound connection pool, the inbound session
+	// gate, and the per-message-type frame counters (transport.go in this
+	// package binds them).
+	pool           *transport.Pool
+	sessionSem     chan struct{}
+	sessMu         sync.Mutex
+	sessions       map[net.Conn]struct{}
+	frameCnt       [wire.NumMsgTypes]*metrics.Counter
+	frameUnknown   *metrics.Counter
+	frameReadErr   *metrics.Counter
+	frameDecodeErr *metrics.Counter
+	sessShedCnt    *metrics.Counter
 
 	// stats holds the operational counters (stats.go).
 	stats nodeStats
@@ -197,6 +227,18 @@ func Listen(addr string, opts Options) (*Node, error) {
 	if opts.OutboxFlushInterval <= 0 {
 		opts.OutboxFlushInterval = defaultFlushInterval
 	}
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = transport.DefaultMaxConnsPerPeer
+	}
+	if opts.MaxStreams <= 0 {
+		opts.MaxStreams = transport.DefaultMaxStreams
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = transport.DefaultIdleTimeout
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = defaultMaxSessions
+	}
 	id, err := pkc.NewIdentity(nil)
 	if err != nil {
 		return nil, err
@@ -206,16 +248,17 @@ func Listen(addr string, opts Options) (*Node, error) {
 		return nil, fmt.Errorf("node: listen: %w", err)
 	}
 	n := &Node{
-		id:      id,
-		opts:    opts,
-		ln:      ln,
-		ages:    onion.NewAgeTracker(),
-		hs:      make(map[pkc.Nonce]onion.RelayAnswer),
-		pending: make(map[pkc.Nonce]chan trustResponse),
-		dialer:  opts.Dialer,
-		reg:     opts.Metrics,
-		flushCh: make(chan struct{}, 1),
-		closeCh: make(chan struct{}),
+		id:         id,
+		opts:       opts,
+		ln:         ln,
+		ages:       onion.NewAgeTracker(),
+		hs:         make(map[pkc.Nonce]onion.RelayAnswer),
+		pending:    make(map[pkc.Nonce]chan trustResponse),
+		dialer:     opts.Dialer,
+		reg:        opts.Metrics,
+		flushCh:    make(chan struct{}, 1),
+		closeCh:    make(chan struct{}),
+		sessionSem: make(chan struct{}, opts.MaxSessions),
 	}
 	if n.dialer == nil {
 		n.dialer = resilience.NetDialer("tcp")
@@ -224,6 +267,14 @@ func Listen(addr string, opts Options) (*Node, error) {
 		n.reg = metrics.NewRegistry()
 	}
 	n.cnt.bind(n.reg)
+	n.bindFrameCounters(n.reg)
+	n.pool = transport.New(transport.Options{
+		Dialer:          n.dialer,
+		MaxConnsPerPeer: opts.PoolSize,
+		MaxStreams:      opts.MaxStreams,
+		IdleTimeout:     opts.IdleTimeout,
+		Metrics:         n.reg,
+	})
 	// Seed the retry jitter from the node identity so distinct nodes desync
 	// their backoff schedules while one node's runs stay reproducible for a
 	// fixed identity (tests inject identities via the fault dialer seam
@@ -276,16 +327,14 @@ func (n *Node) Agent() *agentdir.Agent { return n.agent }
 // still queued in the outbox stay journaled (when OutboxPath is set) for the
 // next run.
 func (n *Node) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if !n.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	n.closed = true
-	n.mu.Unlock()
 	close(n.closeCh)
 	err := n.ln.Close()
 	n.outboxWG.Wait()
+	_ = n.pool.Close() // drains in-flight outbound requests
+	n.closeSessions()  // inbound sessions would otherwise linger to idle timeout
 	n.wg.Wait()
 	if oerr := n.outbox.Close(); err == nil {
 		err = oerr
@@ -299,42 +348,18 @@ func (n *Node) Close() error {
 }
 
 func (n *Node) isClosed() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.closed
+	return n.closed.Load()
 }
 
-func (n *Node) acceptLoop() {
-	defer n.wg.Done()
-	for {
-		conn, err := n.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			defer conn.Close()
-			_ = conn.SetDeadline(time.Now().Add(n.timeout()))
-			typ, payload, err := wire.ReadFrame(conn)
-			if err != nil {
-				n.countFrame(0, false)
-				return
-			}
-			n.countFrame(typ, true)
-			n.handle(conn, typ, payload)
-		}()
-	}
-}
-
-// handle dispatches one inbound frame. Handshake frames answer on the same
-// connection; onion frames are one-way.
-func (n *Node) handle(conn net.Conn, typ wire.MsgType, payload []byte) {
+// handle dispatches one inbound frame. Handshake frames answer through the
+// responder (same stream on a session, same socket for a legacy one-shot);
+// onion frames are one-way.
+func (n *Node) handle(typ wire.MsgType, payload []byte, r transport.Responder) {
 	switch typ {
 	case wire.TRelayRequest:
-		n.handleRelayRequest(conn, payload)
+		n.handleRelayRequest(r, payload)
 	case wire.TKeyVerify:
-		n.handleKeyVerify(conn, payload)
+		n.handleKeyVerify(r, payload)
 	case wire.TOnion:
 		n.handleOnion(payload)
 	case wire.TAgentListReq:
@@ -343,11 +368,11 @@ func (n *Node) handle(conn net.Conn, typ wire.MsgType, payload []byte) {
 		n.handleAgentListResp(payload)
 	case wire.TPing:
 		// §3.4.3 backup probe: echo the payload so the prober can match it.
-		_ = wire.WriteFrame(conn, wire.TPong, payload)
+		_ = r.Respond(wire.TPong, payload)
 	}
 }
 
-func (n *Node) handleRelayRequest(conn net.Conn, payload []byte) {
+func (n *Node) handleRelayRequest(r transport.Responder, payload []byte) {
 	req, err := onion.DecodeRelayRequest(payload)
 	if err != nil {
 		return
@@ -359,10 +384,10 @@ func (n *Node) handleRelayRequest(conn net.Conn, payload []byte) {
 	n.mu.Lock()
 	n.hs[ans.Nonce] = ans
 	n.mu.Unlock()
-	_ = wire.WriteFrame(conn, wire.TRelayResponse, ans.Response)
+	_ = r.Respond(wire.TRelayResponse, ans.Response)
 }
 
-func (n *Node) handleKeyVerify(conn net.Conn, payload []byte) {
+func (n *Node) handleKeyVerify(r transport.Responder, payload []byte) {
 	kv, err := onion.OpenKeyVerify(n.identity(), payload)
 	if err != nil {
 		return
@@ -380,7 +405,7 @@ func (n *Node) handleKeyVerify(conn net.Conn, payload []byte) {
 	if err != nil {
 		return
 	}
-	_ = wire.WriteFrame(conn, wire.TKeyConfirm, confirm)
+	_ = r.Respond(wire.TKeyConfirm, confirm)
 }
 
 // handleOnion peels one layer and either forwards or consumes the payload.
@@ -441,16 +466,11 @@ func (n *Node) openAny(sealed []byte) (*pkc.Identity, []byte, bool) {
 	return nil, nil, false
 }
 
-// sendTimeout dials addr through the node's dialer and writes one frame,
-// all within budget. It is the single-attempt primitive; send adds retries.
+// sendTimeout writes one frame to addr within budget, over a pooled session
+// connection when the peer speaks the session protocol and a one-shot dial
+// when it is legacy. Single attempt; send adds retries.
 func (n *Node) sendTimeout(addr string, typ wire.MsgType, payload []byte, budget time.Duration) error {
-	conn, err := n.dialer(addr, budget)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(budget))
-	return wire.WriteFrame(conn, typ, payload)
+	return n.pool.Send(addr, typ, payload, budget)
 }
 
 // send dials addr and writes one frame, retrying transient failures under
@@ -461,19 +481,12 @@ func (n *Node) send(addr string, typ wire.MsgType, payload []byte) error {
 	})
 }
 
-// roundTripTimeout dials addr, writes one frame, and reads one response
-// frame, all within budget. Single attempt; roundTrip adds retries.
+// roundTripTimeout writes one frame to addr and waits for its matched
+// response, all within budget — multiplexed over a pooled session
+// connection, or via a one-shot dial for legacy peers. Single attempt;
+// roundTrip adds retries.
 func (n *Node) roundTripTimeout(addr string, typ wire.MsgType, payload []byte, budget time.Duration) (wire.MsgType, []byte, error) {
-	conn, err := n.dialer(addr, budget)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(budget))
-	if err := wire.WriteFrame(conn, typ, payload); err != nil {
-		return 0, nil, err
-	}
-	return wire.ReadFrame(conn)
+	return n.pool.RoundTrip(addr, typ, payload, budget)
 }
 
 // roundTrip dials addr, writes one frame, and reads one response frame,

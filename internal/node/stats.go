@@ -11,7 +11,10 @@ import (
 // node (printed by `hirepnode` on shutdown, scraped by tests).
 type Stats struct {
 	FramesIn        int64 // frames accepted from the listener
-	FramesBad       int64 // frames that failed to read or parse
+	FramesBad       int64 // inbound failures: FramesReadErr + FramesDecodeErr
+	FramesReadErr   int64 // transport-level read failures (resets, timeouts)
+	FramesDecodeErr int64 // frames rejected as malformed (oversized, torn)
+	SessionsShed    int64 // inbound connections refused at the session cap
 	OnionsForwarded int64 // relay duty: peeled and passed on
 	OnionsExited    int64 // onion payloads consumed at this node
 	OnionsRejected  int64 // blobs we could not peel (not ours / corrupt)
@@ -24,15 +27,17 @@ type Stats struct {
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d",
-		s.FramesIn, s.FramesBad, s.OnionsForwarded, s.OnionsExited,
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d",
+		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
+		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
 		s.ReportsDeferred, s.ReportsLost)
 }
 
 // nodeStats is the atomic backing store.
 type nodeStats struct {
-	framesIn, framesBad                          atomic.Int64
+	framesIn, framesReadErr, framesDecodeErr     atomic.Int64
+	sessionsShed                                 atomic.Int64
 	onionsForwarded, onionsExited, onionsRejcted atomic.Int64
 	trustServed, reportsStored, walksAnswered    atomic.Int64
 	reportsDeferred, reportsLost                 atomic.Int64
@@ -40,9 +45,14 @@ type nodeStats struct {
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
+	readErr := n.stats.framesReadErr.Load()
+	decodeErr := n.stats.framesDecodeErr.Load()
 	return Stats{
 		FramesIn:        n.stats.framesIn.Load(),
-		FramesBad:       n.stats.framesBad.Load(),
+		FramesBad:       readErr + decodeErr,
+		FramesReadErr:   readErr,
+		FramesDecodeErr: decodeErr,
+		SessionsShed:    n.stats.sessionsShed.Load(),
 		OnionsForwarded: n.stats.onionsForwarded.Load(),
 		OnionsExited:    n.stats.onionsExited.Load(),
 		OnionsRejected:  n.stats.onionsRejcted.Load(),
@@ -54,12 +64,24 @@ func (n *Node) Stats() Stats {
 	}
 }
 
-// countFrame classifies one accepted frame.
-func (n *Node) countFrame(typ wire.MsgType, ok bool) {
-	if !ok {
-		n.stats.framesBad.Add(1)
-		return
-	}
+// countFrame counts one accepted inbound frame, per message type.
+func (n *Node) countFrame(typ wire.MsgType) {
 	n.stats.framesIn.Add(1)
-	_ = typ
+	if int(typ) < len(n.frameCnt) && n.frameCnt[typ] != nil {
+		n.frameCnt[typ].Inc()
+	} else {
+		n.frameUnknown.Inc()
+	}
+}
+
+// countReadError counts an inbound transport-level read failure.
+func (n *Node) countReadError() {
+	n.stats.framesReadErr.Add(1)
+	n.frameReadErr.Inc()
+}
+
+// countDecodeError counts an inbound frame rejected as malformed.
+func (n *Node) countDecodeError() {
+	n.stats.framesDecodeErr.Add(1)
+	n.frameDecodeErr.Inc()
 }

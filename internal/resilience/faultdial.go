@@ -147,7 +147,22 @@ func (f *FaultDialer) Stats() FaultStats {
 	}
 }
 
-// Dial implements Dialer with the configured faults.
+// ruleFor returns the rule currently installed for addr.
+func (f *FaultDialer) ruleFor(addr string) FaultRule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r, ok := f.rules[addr]; ok {
+		return r
+	}
+	return f.def
+}
+
+// Dial implements Dialer with the configured faults. Connections it
+// establishes stay tied to the live rule table: installing a rule for addr
+// AFTER a dial sabotages that connection's reads and writes too (see
+// ruleConn), so a pooled or otherwise persistent connection cannot dodge a
+// partition that a dial-per-frame transport would have hit — real partitions
+// kill established flows as well as new ones.
 func (f *FaultDialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	f.dials.Add(1)
 	f.mu.Lock()
@@ -161,7 +176,7 @@ func (f *FaultDialer) Dial(addr string, timeout time.Duration) (net.Conn, error)
 	}
 	f.mu.Unlock()
 	if !fire {
-		return f.base(addr, timeout)
+		return f.dialWrapped(addr, timeout)
 	}
 	switch rule.Mode {
 	case FaultDrop:
@@ -175,7 +190,7 @@ func (f *FaultDialer) Dial(addr string, timeout time.Duration) (net.Conn, error)
 			return nil, &timeoutError{op: "dial", addr: addr}
 		}
 		time.Sleep(d)
-		return f.base(addr, timeout)
+		return f.dialWrapped(addr, timeout)
 	case FaultReset:
 		f.reset.Add(1)
 		return &resetConn{addr: addr}, nil
@@ -183,8 +198,99 @@ func (f *FaultDialer) Dial(addr string, timeout time.Duration) (net.Conn, error)
 		f.blackholed.Add(1)
 		return newBlackHoleConn(addr), nil
 	default:
-		return f.base(addr, timeout)
+		return f.dialWrapped(addr, timeout)
 	}
+}
+
+// dialWrapped dials through the base dialer and ties the resulting
+// connection to the rule table.
+func (f *FaultDialer) dialWrapped(addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := f.base(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &ruleConn{Conn: c, d: f, addr: addr, done: make(chan struct{})}, nil
+}
+
+// rulePollInterval is how often a black-holed established connection
+// re-checks its rule while blocking a read.
+const rulePollInterval = 5 * time.Millisecond
+
+// ruleConn consults the dialer's current rule for its address on every Read
+// and Write: FaultReset fails the operation, FaultBlackHole swallows writes
+// and stalls reads (until the read deadline, Close, or the rule is lifted —
+// a healed partition resumes the flow), anything else passes through.
+type ruleConn struct {
+	net.Conn
+	d    *FaultDialer
+	addr string
+
+	mu     sync.Mutex
+	rdline time.Time
+	once   sync.Once
+	done   chan struct{}
+}
+
+func (c *ruleConn) Read(b []byte) (int, error) {
+	for {
+		switch c.d.ruleFor(c.addr).Mode {
+		case FaultReset:
+			return 0, ErrInjectedReset
+		case FaultBlackHole:
+			c.mu.Lock()
+			deadline := c.rdline
+			c.mu.Unlock()
+			wait := rulePollInterval
+			if !deadline.IsZero() {
+				until := time.Until(deadline)
+				if until <= 0 {
+					return 0, &timeoutError{op: "read", addr: c.addr}
+				}
+				if until < wait {
+					wait = until
+				}
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-c.done:
+				t.Stop()
+				return 0, net.ErrClosed
+			case <-t.C:
+			}
+		default:
+			return c.Conn.Read(b)
+		}
+	}
+}
+
+func (c *ruleConn) Write(b []byte) (int, error) {
+	switch c.d.ruleFor(c.addr).Mode {
+	case FaultReset:
+		return 0, ErrInjectedReset
+	case FaultBlackHole:
+		return len(b), nil
+	default:
+		return c.Conn.Write(b)
+	}
+}
+
+func (c *ruleConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}
+
+func (c *ruleConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *ruleConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
 }
 
 // timeoutError is an injected net.Error with Timeout() == true.

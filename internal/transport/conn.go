@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"hirep/internal/wire"
+)
+
+// result is one matched response delivered to a waiting roundTrip.
+type result struct {
+	typ     wire.MsgType
+	payload []byte
+	err     error
+}
+
+// conn is one client-side session connection: many request/response pairs
+// in flight at once, each tagged with a stream id, responses matched in
+// whatever order the peer produces them.
+type conn struct {
+	pool *Pool
+	addr string
+	c    net.Conn
+	// br buffers inbound reads so one syscall can drain several frames; only
+	// the readLoop touches it.
+	br *bufio.Reader
+
+	// w coalesces frames from concurrent requesters into single socket
+	// writes (group commit).
+	w *groupWriter
+
+	mu            sync.Mutex
+	window        int // negotiated max in-flight streams
+	inflight      int // reserved window slots
+	nextID        uint32
+	pending       map[uint32]chan result
+	lastUsed      time.Time
+	consecTimeout int // roundTrip timeouts since the last inbound frame
+	dead          bool
+	err           error
+}
+
+func newConn(p *Pool, addr string, nc net.Conn, br *bufio.Reader, window int) *conn {
+	return &conn{
+		pool:     p,
+		addr:     addr,
+		c:        nc,
+		br:       br,
+		w:        newGroupWriter(nc),
+		window:   window,
+		pending:  make(map[uint32]chan result),
+		lastUsed: time.Now(),
+	}
+}
+
+// tryReserve claims a window slot if one is free and the conn is alive.
+func (c *conn) tryReserve() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead || c.inflight >= c.window {
+		return false
+	}
+	c.inflight++
+	c.lastUsed = time.Now()
+	return true
+}
+
+// reserve claims a slot unconditionally (first use of a fresh conn).
+func (c *conn) reserve() {
+	c.mu.Lock()
+	c.inflight++
+	c.lastUsed = time.Now()
+	c.mu.Unlock()
+}
+
+// release returns a window slot.
+func (c *conn) release() {
+	c.mu.Lock()
+	c.inflight--
+	c.lastUsed = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *conn) inflightNow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// idleFor reports whether the conn has no in-flight streams and has been
+// unused for at least d.
+func (c *conn) idleFor(d time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.dead && c.inflight == 0 && time.Since(c.lastUsed) >= d
+}
+
+// writeFrame hands the stream frame to the group-commit writer; concurrent
+// requesters' frames ride the same flush.
+func (c *conn) writeFrame(typ wire.MsgType, stream uint32, payload []byte) error {
+	err := c.w.write(typ, stream, payload)
+	if err == nil {
+		c.pool.met.framesOut.Inc()
+	}
+	return err
+}
+
+// roundTrip sends one frame and blocks until its stream's response arrives
+// or deadline passes. The caller must hold a reserved window slot.
+func (c *conn) roundTrip(typ wire.MsgType, payload []byte, deadline time.Time) (wire.MsgType, []byte, error) {
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.dead {
+		err := c.err
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.writeFrame(typ, id, payload); err != nil {
+		c.unregister(id)
+		c.fail(err)
+		return 0, nil, err
+	}
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.typ, r.payload, r.err
+	case <-timer.C:
+		c.unregister(id)
+		c.noteTimeout()
+		return 0, nil, ErrTimeout
+	}
+}
+
+// send writes one fire-and-forget frame (stream id 0 — never matched).
+func (c *conn) send(typ wire.MsgType, payload []byte, deadline time.Time) error {
+	c.mu.Lock()
+	if c.dead {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+	if err := c.writeFrame(typ, 0, payload); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// unregister removes a pending stream (its request gave up).
+func (c *conn) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// noteTimeout counts a response timeout; enough of them in a row with no
+// inbound frame at all condemns the conn as stalled (half-open TCP or a
+// black-holed peer never fails reads, so this is the only exit).
+func (c *conn) noteTimeout() {
+	c.mu.Lock()
+	c.consecTimeout++
+	condemned := c.consecTimeout >= stalledTimeouts
+	c.mu.Unlock()
+	if condemned {
+		c.pool.met.stalled.Inc()
+		c.fail(errStalled)
+	}
+}
+
+// readLoop is the conn's single reader: it matches inbound stream frames to
+// pending requests until the conn dies.
+func (c *conn) readLoop() {
+	defer c.pool.wg.Done()
+	for {
+		typ, stream, payload, err := wire.ReadStreamFrame(c.br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pool.met.framesIn.Inc()
+		c.mu.Lock()
+		c.consecTimeout = 0
+		c.lastUsed = time.Now()
+		ch, ok := c.pending[stream]
+		if ok {
+			delete(c.pending, stream)
+		}
+		c.mu.Unlock()
+		if !ok {
+			c.pool.met.orphans.Inc() // the requester already timed out
+			continue
+		}
+		ch <- result{typ: typ, payload: payload}
+	}
+}
+
+// fail kills the conn exactly once: every pending request gets err, the
+// socket closes (unblocking the readLoop), and the pool forgets the conn.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	pending := c.pending
+	c.pending = make(map[uint32]chan result)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+	_ = c.c.Close()
+	c.pool.removeConn(c)
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"hirep/internal/wire"
+)
+
+// flushWriteTimeout bounds each coalesced socket write. Writes normally
+// land in the kernel buffer instantly; the deadline only matters against a
+// peer that stopped draining its receive window.
+const flushWriteTimeout = 10 * time.Second
+
+// groupWriter coalesces stream frames from concurrent writers into single
+// socket writes (group commit): the first writer into an idle writer
+// becomes the flusher and also drains every frame queued behind it while
+// the syscall was in flight, so n concurrent frames cost ~1 write instead
+// of n. Both sides of a session use one — the client for requests, the
+// server for responses.
+type groupWriter struct {
+	nc net.Conn
+
+	mu       sync.Mutex
+	pend     []byte // frames queued for the next flush
+	spare    []byte // recycled buffer from the previous flush
+	flushing bool
+	gen      *flushGen // waiters on the next flush (nil when none queued)
+}
+
+// flushGen is one flush generation: every writer whose frame rides the same
+// flush shares its outcome.
+type flushGen struct {
+	done chan struct{}
+	err  error
+}
+
+func newGroupWriter(nc net.Conn) *groupWriter {
+	return &groupWriter{nc: nc}
+}
+
+// write queues one stream frame and returns once it has reached the socket,
+// reporting that flush's error.
+func (w *groupWriter) write(typ wire.MsgType, stream uint32, payload []byte) error {
+	w.mu.Lock()
+	buf, err := wire.AppendStreamFrame(w.pend, typ, stream, payload)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.pend = buf
+	if w.flushing {
+		// A flusher is active and will pick this frame up on its next pass.
+		if w.gen == nil {
+			w.gen = &flushGen{done: make(chan struct{})}
+		}
+		g := w.gen
+		w.mu.Unlock()
+		<-g.done
+		return g.err
+	}
+	w.flushing = true
+	var own error
+	first := true
+	for len(w.pend) > 0 {
+		batch := w.pend
+		w.pend = w.spare[:0]
+		w.spare = nil
+		g := w.gen
+		w.gen = nil
+		w.mu.Unlock()
+		_ = w.nc.SetWriteDeadline(time.Now().Add(flushWriteTimeout))
+		_, err := w.nc.Write(batch)
+		w.mu.Lock()
+		w.spare = batch[:0]
+		if g != nil {
+			g.err = err
+			close(g.done)
+		}
+		if first {
+			own = err
+			first = false
+		}
+	}
+	w.flushing = false
+	w.mu.Unlock()
+	return own
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the session-mode extension of the frame codec (DESIGN.md §9):
+// after a THello/THelloAck exchange, a connection carries stream-multiplexed
+// frames so many in-flight request/response pairs can share it. A stream
+// frame inserts a u32 stream id between the message type and the payload:
+//
+//	u32 big-endian length | u8 message type | u32 stream id | payload
+//
+// where length covers type + stream id + payload. Responses echo the
+// request's stream id, so they may arrive in any order.
+
+// SessionVersion is the current session-protocol version carried in hellos.
+// A responder acks with min(its version, the requestor's); version 1 is the
+// only one defined.
+const SessionVersion = 1
+
+// helloMagic guards against a non-hiREP speaker landing on the port: a hello
+// whose payload does not start with it is rejected outright.
+var helloMagic = [4]byte{'H', 'R', 'T', 'P'}
+
+// Errors of the session codec.
+var (
+	ErrBadHello = errors.New("wire: malformed session hello")
+)
+
+// Hello is the session-negotiation payload carried by THello and THelloAck.
+type Hello struct {
+	// Version is the sender's session-protocol version.
+	Version uint8
+	// MaxStreams is the in-flight stream window the sender is willing to
+	// serve on this connection; the peer must not exceed it.
+	MaxStreams uint32
+}
+
+// EncodeHello serializes a hello payload.
+func EncodeHello(h Hello) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, helloMagic[:]...)
+	b = append(b, h.Version)
+	var ms [4]byte
+	binary.BigEndian.PutUint32(ms[:], h.MaxStreams)
+	return append(b, ms[:]...)
+}
+
+// DecodeHello parses a hello payload.
+func DecodeHello(b []byte) (Hello, error) {
+	if len(b) != 9 || [4]byte(b[:4]) != helloMagic {
+		return Hello{}, ErrBadHello
+	}
+	h := Hello{Version: b[4], MaxStreams: binary.BigEndian.Uint32(b[5:9])}
+	if h.Version == 0 {
+		return Hello{}, ErrBadHello
+	}
+	return h, nil
+}
+
+// streamHdrSize is the per-frame overhead of a stream frame: u32 length,
+// u8 type, u32 stream id.
+const streamHdrSize = 9
+
+// AppendStreamFrame appends one encoded stream frame to dst and returns the
+// extended slice, so a writer can reuse one buffer and issue a single
+// Write per frame.
+func AppendStreamFrame(dst []byte, t MsgType, stream uint32, payload []byte) ([]byte, error) {
+	if len(payload)+streamHdrSize-4 > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	var hdr [streamHdrSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+5))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(hdr[5:], stream)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// WriteStreamFrame writes one stream frame as a single Write call.
+func WriteStreamFrame(w io.Writer, t MsgType, stream uint32, payload []byte) error {
+	buf, err := AppendStreamFrame(nil, t, stream, payload)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write stream frame: %w", err)
+	}
+	return nil
+}
+
+// ReadStreamFrame reads one stream frame.
+func ReadStreamFrame(r io.Reader) (MsgType, uint32, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: read stream header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 5 || n > MaxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: read stream body: %w", err)
+	}
+	return MsgType(hdr[4]), binary.BigEndian.Uint32(body[:4]), body[4:], nil
+}

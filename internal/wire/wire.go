@@ -39,7 +39,17 @@ const (
 	// TPing / TPong probe a node's liveness (the §3.4.3 backup-agent probe).
 	TPing
 	TPong
+	// THello / THelloAck negotiate a stream-multiplexed transport session on
+	// a fresh connection (DESIGN.md §9). Both travel as plain frames so a
+	// legacy one-shot peer can read (and reject) a hello, which is exactly
+	// how the negotiation detects it.
+	THello
+	THelloAck
 )
+
+// NumMsgTypes is one past the highest assigned MsgType, for per-type
+// counter arrays.
+const NumMsgTypes = int(THelloAck) + 1
 
 func (t MsgType) String() string {
 	switch t {
@@ -69,6 +79,10 @@ func (t MsgType) String() string {
 		return "ping"
 	case TPong:
 		return "pong"
+	case THello:
+		return "hello"
+	case THelloAck:
+		return "hello-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}

@@ -70,10 +70,29 @@ echo "== appending run to BENCH_repstore.json"
 record_bench "$out" BENCH_repstore.json
 
 echo "== node benchmarks (retry-wrapper overhead + live protocol paths)"
-out=$(go test -run '^$' -bench 'BenchmarkRoundTrip|BenchmarkLive|BenchmarkRelayHandshake' -benchmem ./internal/node/ 2>&1)
+out=$(go test -run '^$' -bench 'BenchmarkRoundTripRetry|BenchmarkLive|BenchmarkRelayHandshake' -benchmem ./internal/node/ 2>&1)
 echo "$out"
 
 echo "== appending run to BENCH_node.json"
 record_bench "$out" BENCH_node.json
+
+echo "== transport benchmarks (pooled multiplexed session vs dial-per-frame)"
+out=$(go test -run '^$' -bench 'BenchmarkRoundTripPooled$|BenchmarkRoundTripDirect$' -benchtime 2s ./internal/node/ 2>&1)
+echo "$out"
+
+# The pooled path must hold >= 5x the throughput of dial-per-frame
+# (DESIGN.md §9); surface the ratio so a regression is visible at a glance.
+BENCH_OUT="$out" python3 - <<'EOF'
+import os, re
+out = os.environ["BENCH_OUT"]
+ns = {m.group(1): float(m.group(2))
+      for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", out, re.M)}
+d, p = ns.get("BenchmarkRoundTripDirect"), ns.get("BenchmarkRoundTripPooled")
+if d and p:
+    print(f"pooled speedup over direct: {d / p:.1f}x")
+EOF
+
+echo "== appending run to BENCH_transport.json"
+record_bench "$out" BENCH_transport.json
 
 echo "verify: OK"
