@@ -21,6 +21,13 @@
 //	          -breaker-cooldown 10s -outbox /var/lib/hirep/outbox.journal \
 //	          -outbox-cap 2048 -quorum 2 -probe-timeout 500ms
 //
+// Replicate an agent's report store to standby agents (DESIGN.md §10) —
+// committed batches ship live, periodic anti-entropy heals divergence, and a
+// bounded hinted-handoff queue covers replica downtime:
+//
+//	hirepnode -listen 127.0.0.1:7001 -agent -store /var/lib/hirep \
+//	          -replicas 127.0.0.1:7004,127.0.0.1:7005 -sync-interval 5s -handoff-cap 2048
+//
 // Tune the connection-pooled transport (DESIGN.md §9) — pooled connections
 // per peer, multiplexed streams per connection, idle reaping, and the
 // inbound session cap:
@@ -69,6 +76,11 @@ func main() {
 		outboxCap    = flag.Int("outbox-cap", 0, "max queued reports before oldest is dropped (0 = default 1024)")
 		quorum       = flag.Int("quorum", 1, "minimum agent answers for an evaluation to succeed")
 
+		// Replication knobs (DESIGN.md §10, agents only).
+		replicas     = flag.String("replicas", "", "comma-separated replica agent addresses to ship committed batches to")
+		syncInterval = flag.Duration("sync-interval", 0, "anti-entropy digest interval per replica (0 = default 5s)")
+		handoffCap   = flag.Int("handoff-cap", 0, "max batches queued per down replica before oldest is dropped (0 = default 1024)")
+
 		// Transport knobs (DESIGN.md §9).
 		poolSize    = flag.Int("pool-size", 0, "pooled connections per peer (0 = default 2)")
 		maxStreams  = flag.Int("max-streams", 0, "in-flight streams per pooled connection (0 = default 64)")
@@ -88,10 +100,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hirepnode: -store requires -agent")
 		os.Exit(2)
 	}
+	if *replicas != "" && !*agent {
+		fmt.Fprintln(os.Stderr, "hirepnode: -replicas requires -agent")
+		os.Exit(2)
+	}
+	var replicaAddrs []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			replicaAddrs = append(replicaAddrs, a)
+		}
+	}
 
 	n, err := node.Listen(*listen, node.Options{
 		Agent:        *agent,
 		StoreDir:     *store,
+		Replicas:     replicaAddrs,
+		SyncInterval: *syncInterval,
+		HandoffCap:   *handoffCap,
 		ProbeTimeout: *probeTimeout,
 		Retry:        resilience.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase},
 		Breaker:      resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
@@ -113,6 +138,9 @@ func main() {
 		role = "reputation agent"
 		if *store != "" {
 			role = "reputation agent, durable store in " + *store
+		}
+		if len(replicaAddrs) > 0 {
+			role += fmt.Sprintf(", replicating to %d agent(s)", len(replicaAddrs))
 		}
 	}
 	fmt.Printf("hirep node %s (%s) listening on %s\n", n.ID().Short(), role, n.Addr())

@@ -92,6 +92,13 @@ type Agent struct {
 	keys    map[pkc.NodeID]ed25519.PublicKey
 	store   *repstore.Store
 	replays *pkc.ReplayCache
+
+	// sources are replica stores attached by the node's replication layer:
+	// state this agent holds on behalf of other (primary) agents. Served
+	// tallies combine the agent's own store with every source, so a promoted
+	// standby answers with the dead primary's history (DESIGN.md §10).
+	srcMu   sync.RWMutex
+	sources map[string]*repstore.Store
 }
 
 // New creates an agent with identity self backed by a pure in-memory store.
@@ -226,11 +233,58 @@ func (a *Agent) ApplyKeyUpdate(wire []byte) (pkc.KeyUpdate, error) {
 	return upd, nil
 }
 
+// AttachSource registers a replica store under key; its tallies merge into
+// every served trust value. Re-attaching a key replaces the store.
+func (a *Agent) AttachSource(key string, st *repstore.Store) {
+	a.srcMu.Lock()
+	defer a.srcMu.Unlock()
+	if a.sources == nil {
+		a.sources = make(map[string]*repstore.Store)
+	}
+	a.sources[key] = st
+}
+
+// DetachSource removes a replica store registered with AttachSource.
+func (a *Agent) DetachSource(key string) {
+	a.srcMu.Lock()
+	defer a.srcMu.Unlock()
+	delete(a.sources, key)
+}
+
+// SourceCount returns how many replica stores are attached.
+func (a *Agent) SourceCount() int {
+	a.srcMu.RLock()
+	defer a.srcMu.RUnlock()
+	return len(a.sources)
+}
+
+// CombinedTally sums the subject's raw counts across the agent's own store
+// and every attached replica source. ok is false when no store holds any
+// report about the subject.
+func (a *Agent) CombinedTally(subject pkc.NodeID) (pos, neg int, ok bool) {
+	pos, neg, ok = a.store.Tally(subject)
+	a.srcMu.RLock()
+	defer a.srcMu.RUnlock()
+	for _, st := range a.sources {
+		if p, n, has := st.Tally(subject); has {
+			pos += p
+			neg += n
+			ok = true
+		}
+	}
+	return pos, neg, ok
+}
+
 // TrustValue computes the agent's estimate for subject from stored reports:
-// the Laplace-smoothed positive fraction (p+1)/(p+n+2). ok is false when the
+// the Laplace-smoothed positive fraction (p+1)/(p+n+2) over the combined
+// tally (own store plus attached replica sources). ok is false when the
 // agent has no report about the subject and therefore no opinion.
 func (a *Agent) TrustValue(subject pkc.NodeID) (trust.Value, bool) {
-	return a.store.TrustValue(subject)
+	pos, neg, ok := a.CombinedTally(subject)
+	if !ok {
+		return 0, false
+	}
+	return trust.Value(float64(pos+1) / float64(pos+neg+2)), true
 }
 
 // ReportCount returns the total number of accepted reports.

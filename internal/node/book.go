@@ -32,6 +32,10 @@ type AgentBook struct {
 	backups   []*bookEntry // most recently demoted first
 	banned    map[pkc.NodeID]bool
 	breakers  *resilience.Breakers[pkc.NodeID]
+	// replSeq caches replication positions learned from status probes:
+	// backup → primary → highest acknowledged sequence. Stateful promotion
+	// (promoteBackup, PromoteReplica) prefers the most-caught-up backup.
+	replSeq map[pkc.NodeID]map[pkc.NodeID]uint64
 }
 
 type bookEntry struct {
@@ -252,6 +256,32 @@ func (b *AgentBook) AddBackup(info AgentInfo) bool {
 	}
 	b.backups = append(b.backups, &bookEntry{info: info, expertise: exp})
 	return true
+}
+
+// NoteReplicaSeq caches a backup's replication position for one primary,
+// learned from a TReplStatus probe.
+func (b *AgentBook) NoteReplicaSeq(backup, primary pkc.NodeID, seq uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.replSeq == nil {
+		b.replSeq = make(map[pkc.NodeID]map[pkc.NodeID]uint64)
+	}
+	m := b.replSeq[backup]
+	if m == nil {
+		m = make(map[pkc.NodeID]uint64)
+		b.replSeq[backup] = m
+	}
+	if seq > m[primary] {
+		m[primary] = seq
+	}
+}
+
+// ReplicaSeq returns the cached replication position of backup for primary
+// (0 when never probed).
+func (b *AgentBook) ReplicaSeq(backup, primary pkc.NodeID) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.replSeq[backup][primary]
 }
 
 // BackupInfo returns the descriptor of a backup-cache agent.

@@ -97,6 +97,15 @@ type Options struct {
 	// transitions, failovers, outbox depth). Nil creates a private registry,
 	// readable via Node.Metrics.
 	Metrics *metrics.Registry
+	// Replicas lists replica-agent addresses this agent ships its committed
+	// report batches to (DESIGN.md §10). Requires Agent.
+	Replicas []string
+	// SyncInterval is the cadence of the periodic anti-entropy pass against
+	// each replica (default 5s).
+	SyncInterval time.Duration
+	// HandoffCap bounds each replica's hinted-handoff queue (default 1024);
+	// overflow evicts the oldest batch, and anti-entropy later heals the gap.
+	HandoffCap int
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -133,6 +142,12 @@ type Node struct {
 	pending map[pkc.Nonce]chan trustResponse
 	closed  atomic.Bool // checked on hot paths without taking n.mu
 	wg      sync.WaitGroup
+
+	// Replication plumbing (replication.go): primary-side shipping state,
+	// replica stores held for other primaries, and in-flight status probes.
+	repl          *replicator
+	replicas      *replicaSet
+	pendingStatus map[pkc.Nonce]chan ReplStatus
 
 	// Transport plumbing: the outbound connection pool, the inbound session
 	// gate, and the per-message-type frame counters (transport.go in this
@@ -239,6 +254,15 @@ func Listen(addr string, opts Options) (*Node, error) {
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = defaultMaxSessions
 	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = defaultSyncInterval
+	}
+	if opts.HandoffCap <= 0 {
+		opts.HandoffCap = defaultHandoffCap
+	}
+	if len(opts.Replicas) > 0 && !opts.Agent {
+		return nil, fmt.Errorf("node: Replicas requires Agent")
+	}
 	id, err := pkc.NewIdentity(nil)
 	if err != nil {
 		return nil, err
@@ -248,17 +272,18 @@ func Listen(addr string, opts Options) (*Node, error) {
 		return nil, fmt.Errorf("node: listen: %w", err)
 	}
 	n := &Node{
-		id:         id,
-		opts:       opts,
-		ln:         ln,
-		ages:       onion.NewAgeTracker(),
-		hs:         make(map[pkc.Nonce]onion.RelayAnswer),
-		pending:    make(map[pkc.Nonce]chan trustResponse),
-		dialer:     opts.Dialer,
-		reg:        opts.Metrics,
-		flushCh:    make(chan struct{}, 1),
-		closeCh:    make(chan struct{}),
-		sessionSem: make(chan struct{}, opts.MaxSessions),
+		id:            id,
+		opts:          opts,
+		ln:            ln,
+		ages:          onion.NewAgeTracker(),
+		hs:            make(map[pkc.Nonce]onion.RelayAnswer),
+		pending:       make(map[pkc.Nonce]chan trustResponse),
+		pendingStatus: make(map[pkc.Nonce]chan ReplStatus),
+		dialer:        opts.Dialer,
+		reg:           opts.Metrics,
+		flushCh:       make(chan struct{}, 1),
+		closeCh:       make(chan struct{}),
+		sessionSem:    make(chan struct{}, opts.MaxSessions),
 	}
 	if n.dialer == nil {
 		n.dialer = resilience.NetDialer("tcp")
@@ -288,16 +313,31 @@ func Listen(addr string, opts Options) (*Node, error) {
 	}
 	n.cnt.outboxDepth.Set(int64(n.outbox.Depth()))
 	if opts.Agent {
-		if opts.StoreDir != "" {
-			st, err := repstore.Open(opts.StoreDir, repstore.Options{})
+		// The replicator exists before the store opens so the store's commit
+		// tap can feed it; senders start only after everything else is wired.
+		var hook func([]byte)
+		if len(opts.Replicas) > 0 {
+			n.repl, err = newReplicator(n, id)
 			if err != nil {
 				ln.Close()
 				n.outbox.Close()
-				return nil, fmt.Errorf("node: open report store: %w", err)
+				return nil, err
 			}
-			n.agent = agentdir.NewWithStore(id, 0, st)
-		} else {
-			n.agent = agentdir.New(id, 0)
+			hook = n.repl.onCommit
+		}
+		st, err := repstore.Open(opts.StoreDir, repstore.Options{OnCommit: hook})
+		if err != nil {
+			ln.Close()
+			n.outbox.Close()
+			if n.repl != nil {
+				n.repl.closeOutboxes()
+			}
+			return nil, fmt.Errorf("node: open report store: %w", err)
+		}
+		n.agent = agentdir.NewWithStore(id, 0, st)
+		n.replicas = &replicaSet{m: make(map[pkc.NodeID]*replState)}
+		if n.repl != nil {
+			n.repl.start()
 		}
 	}
 	n.wg.Add(1)
@@ -333,6 +373,9 @@ func (n *Node) Close() error {
 	close(n.closeCh)
 	err := n.ln.Close()
 	n.outboxWG.Wait()
+	if n.repl != nil {
+		n.repl.wg.Wait() // sender loops exit on closeCh
+	}
 	_ = n.pool.Close() // drains in-flight outbound requests
 	n.closeSessions()  // inbound sessions would otherwise linger to idle timeout
 	n.wg.Wait()
@@ -343,6 +386,12 @@ func (n *Node) Close() error {
 		if serr := n.agent.Close(); err == nil {
 			err = serr
 		}
+	}
+	if n.repl != nil {
+		n.repl.closeOutboxes()
+	}
+	if rerr := n.closeReplicaStores(); err == nil {
+		err = rerr
 	}
 	return err
 }
@@ -369,6 +418,14 @@ func (n *Node) handle(typ wire.MsgType, payload []byte, r transport.Responder) {
 	case wire.TPing:
 		// §3.4.3 backup probe: echo the payload so the prober can match it.
 		_ = r.Respond(wire.TPong, payload)
+	case wire.RReplicate:
+		n.handleReplicate(r, payload)
+	case wire.RDigest:
+		n.handleDigest(r, payload)
+	case wire.RRepair:
+		n.handleRepair(r, payload)
+	case wire.RFetch:
+		n.handleFetch(r, payload)
 	}
 }
 
@@ -441,6 +498,10 @@ func (n *Node) handleOnion(payload []byte) {
 		n.handleReport(inner)
 	case wire.TKeyUpdate:
 		n.handleKeyUpdate(inner)
+	case wire.TReplStatusReq:
+		n.handleReplStatusReq(inner)
+	case wire.TReplStatusResp:
+		n.handleReplStatusResp(inner)
 	}
 }
 

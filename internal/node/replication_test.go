@@ -1,0 +1,324 @@
+package node
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hirep/internal/pkc"
+	"hirep/internal/repstore"
+	"hirep/internal/resilience"
+)
+
+// mkReplNode builds a node for replication tests: short sync interval,
+// chaos-grade timeouts, and an optional shared fault dialer. A tiny cap (the
+// chaos test uses 4) makes handoff evictions — and therefore anti-entropy —
+// actually happen in-test.
+func mkReplNode(t *testing.T, fd *resilience.FaultDialer, agent bool, dir string, replicas []string, handoffCap int) *Node {
+	t.Helper()
+	opts := Options{
+		Agent:               agent,
+		StoreDir:            dir,
+		Replicas:            replicas,
+		SyncInterval:        150 * time.Millisecond,
+		HandoffCap:          handoffCap,
+		Timeout:             700 * time.Millisecond,
+		ProbeTimeout:        400 * time.Millisecond,
+		Retry:               resilience.RetryPolicy{Attempts: 2, BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+		Breaker:             resilience.BreakerConfig{Threshold: 2, Cooldown: 200 * time.Millisecond},
+		OutboxFlushInterval: 50 * time.Millisecond,
+	}
+	if fd != nil {
+		opts.Dialer = fd.Dial
+	}
+	nd, err := Listen("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nd.Close() })
+	return nd
+}
+
+// TestReplicationShipsBatches: a primary with two replicas appends reports;
+// every committed batch must arrive, apply in order, and become servable
+// through the replicas' combined tally.
+func TestReplicationShipsBatches(t *testing.T) {
+	r1 := mkReplNode(t, nil, true, "", nil, 64)
+	r2 := mkReplNode(t, nil, true, t.TempDir(), nil, 64)
+	p := mkReplNode(t, nil, true, t.TempDir(), []string{r1.Addr(), r2.Addr()}, 64)
+
+	reporter, _ := pkc.NewIdentity(nil)
+	subject, _ := pkc.NewIdentity(nil)
+	const reports = 10
+	for i := 0; i < reports; i++ {
+		nonce, err := pkc.NewNonce(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Agent().Store().Append(repstore.Record{
+			Reporter: reporter.ID, Subject: subject.ID, Positive: i%2 == 0, Nonce: nonce,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		return r1.ReplicaReportCount(p.ID()) == reports && r2.ReplicaReportCount(p.ID()) == reports
+	})
+
+	// The replicas serve the primary's tallies through their combined view:
+	// 5 positive / 5 negative → (5+1)/(10+2) = 0.5.
+	for _, r := range []*Node{r1, r2} {
+		v, ok := r.Agent().TrustValue(subject.ID)
+		if !ok {
+			t.Fatal("replica has no combined opinion of the subject")
+		}
+		if math.Abs(float64(v)-0.5) > 1e-9 {
+			t.Fatalf("replica trust = %v, want 0.5", v)
+		}
+	}
+
+	s := p.Stats()
+	if s.ReplBatches < reports {
+		t.Fatalf("ReplBatches = %d, want >= %d", s.ReplBatches, reports)
+	}
+	if s.ReplShipped < 1 {
+		t.Fatalf("ReplShipped = %d", s.ReplShipped)
+	}
+	if a := r1.Stats().ReplApplied; a < 1 {
+		t.Fatalf("replica ReplApplied = %d", a)
+	}
+	// Once everything is acked the hinted-handoff queues must be empty.
+	waitFor(t, func() bool {
+		return p.Metrics().Snapshot()["node_repl_handoff_depth"] == 0
+	})
+}
+
+// TestPromoteBackupPrefersCaughtUpReplica pins the stateful half of §3.4.3:
+// with cached replication positions in the book, failover must promote the
+// most-caught-up backup, not the most recently demoted one.
+func TestPromoteBackupPrefersCaughtUpReplica(t *testing.T) {
+	nodes := fleet(t, 4, 3)
+	relay := nodes[3]
+	b1, b2, peer := nodes[0], nodes[1], nodes[2]
+
+	infoFor := func(a *Node) AgentInfo {
+		o, err := a.BuildOnion(fetchRoute(t, a, []*Node{relay}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Info(o)
+	}
+	info1, info2 := infoFor(b1), infoFor(b2)
+	primary, _ := pkc.NewIdentity(nil)
+
+	book, err := NewAgentBook(3, 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !book.AddBackup(info1) || !book.AddBackup(info2) {
+		t.Fatal("AddBackup failed")
+	}
+
+	// No cached positions: every candidate scores zero and the first backup in
+	// recency order wins — the pre-replication behavior.
+	id, ok := peer.promoteBackup(book, primary.ID)
+	if !ok || id != info1.ID() {
+		t.Fatalf("default promotion picked %v, want first backup %v", id, info1.ID())
+	}
+	if !book.Demote(id) {
+		t.Fatal("demote failed")
+	}
+
+	// With positions cached (b2 is further ahead on the demoted primary's
+	// stream), promotion must pick b2 even though b1 is first in line.
+	book.NoteReplicaSeq(info1.ID(), primary.ID, 3)
+	book.NoteReplicaSeq(info2.ID(), primary.ID, 7)
+	id, ok = peer.promoteBackup(book, primary.ID)
+	if !ok || id != info2.ID() {
+		t.Fatalf("stateful promotion picked %v, want most-caught-up %v", id, info2.ID())
+	}
+}
+
+// TestChaosReplicationFailover is the replication capstone (DESIGN.md §10): a
+// primary agent with two replicas takes live traffic behind a fault-injection
+// dialer. One replica is black-holed from the start, so the primary's tiny
+// handoff queue overflows and the replica must later converge via
+// anti-entropy, not replay. Mid-traffic the replication path takes drops and
+// the primary takes delays. Then the primary is killed outright and a replica
+// is promoted — and must answer trust requests with tallies equal to an
+// independently maintained shadow model: zero acknowledged reports lost.
+func TestChaosReplicationFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos test")
+	}
+	fd := resilience.NewFaultDialer(nil, 42)
+	r1 := mkReplNode(t, fd, true, t.TempDir(), nil, 4)
+	r2 := mkReplNode(t, fd, true, "", nil, 4)
+	p := mkReplNode(t, fd, true, t.TempDir(), []string{r1.Addr(), r2.Addr()}, 4)
+	peer := mkReplNode(t, fd, false, "", nil, 4)
+	relay := mkReplNode(t, fd, false, "", nil, 4)
+
+	infoFor := func(a *Node) AgentInfo {
+		o, err := a.BuildOnion(fetchRoute(t, a, []*Node{relay}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Info(o)
+	}
+	infoP, info1, info2 := infoFor(p), infoFor(r1), infoFor(r2)
+
+	book, err := NewAgentBook(3, 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !book.Add(infoP) {
+		t.Fatal("Add failed")
+	}
+	if !book.AddBackup(info1) || !book.AddBackup(info2) {
+		t.Fatal("AddBackup failed")
+	}
+	book.SetQuorum(1)
+	peer.AttachBook(book)
+
+	replyOnion, err := peer.BuildOnion(fetchRoute(t, peer, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var subjects []pkc.NodeID
+	for i := 0; i < 5; i++ {
+		s, _ := pkc.NewIdentity(nil)
+		subjects = append(subjects, s.ID)
+	}
+	shadow := map[pkc.NodeID]*[2]int{} // subject → {pos, neg}: the ground truth
+
+	// Baseline exchange: the primary registers the peer's key (§3.5.2), which
+	// report acceptance requires.
+	if _, _, err := peer.RequestTrust(infoP, subjects[0], replyOnion); err != nil {
+		t.Fatal(err)
+	}
+
+	// report sends one transaction report to the primary and waits until the
+	// primary has durably stored it — that store is the acknowledgement the
+	// "zero acknowledged reports lost" guarantee is about.
+	total := 0
+	report := func(k int) {
+		subj := subjects[k%len(subjects)]
+		positive := k%3 != 0
+		before := p.Agent().ReportCount()
+		if err := peer.ReportTransaction(infoP, subj, positive); err != nil {
+			t.Fatalf("report %d: %v", k, err)
+		}
+		waitFor(t, func() bool { return p.Agent().ReportCount() > before })
+		tl, ok := shadow[subj]
+		if !ok {
+			tl = &[2]int{}
+			shadow[subj] = tl
+		}
+		if positive {
+			tl[0]++
+		} else {
+			tl[1]++
+		}
+		total++
+	}
+
+	// Phase 1: r2 dead from the first byte. The primary keeps serving, r1
+	// keeps up live, and r2's 4-slot handoff queue overflows — evicted batches
+	// are the gap anti-entropy exists to heal.
+	fd.BlackHole(r2.Addr())
+	for k := 0; k < 18; k++ {
+		report(k)
+	}
+	waitFor(t, func() bool { return r1.ReplicaReportCount(p.ID()) == total })
+	if got := p.Metrics().Snapshot()["node_repl_handoff_dropped_total"]; got == 0 {
+		t.Fatal("handoff queue never overflowed — the divergence phase tested nothing")
+	}
+	if got := r2.ReplicaReportCount(p.ID()); got != 0 {
+		t.Fatalf("black-holed replica applied %d reports", got)
+	}
+
+	// Phase 2: revive r2. The next periodic pass finds the sequence gap,
+	// streams full shards, and seals — r2 converges without any WAL replay.
+	fd.Clear(r2.Addr())
+	waitFor(t, func() bool { return r2.ReplicaReportCount(p.ID()) == total })
+	snap := p.Metrics().Snapshot()
+	if snap["node_repl_antientropy_total"] < 1 {
+		t.Fatalf("anti-entropy rounds = %d, want >= 1", snap["node_repl_antientropy_total"])
+	}
+	if snap["node_repl_shards_repaired_total"] < 1 {
+		t.Fatalf("shards repaired = %d", snap["node_repl_shards_repaired_total"])
+	}
+
+	// Phase 3: faults on the replication path and delays on the primary, with
+	// traffic still flowing. Resets kill r1's established session connections
+	// mid-stream; then a drop rule refuses a fraction of the re-dials. Every
+	// acknowledged report must still reach both replicas once the faults lift.
+	fd.SetRule(p.Addr(), resilience.FaultRule{Mode: resilience.FaultDelay, Prob: 1, Delay: 15 * time.Millisecond})
+	fd.SetRule(r1.Addr(), resilience.FaultRule{Mode: resilience.FaultReset})
+	for k := 18; k < 27; k++ {
+		report(k)
+	}
+	fd.SetRule(r1.Addr(), resilience.FaultRule{Mode: resilience.FaultDrop, Prob: 0.25})
+	for k := 27; k < 36; k++ {
+		report(k)
+	}
+	fd.Clear(r1.Addr())
+	fd.Clear(p.Addr())
+	waitFor(t, func() bool {
+		return r1.ReplicaReportCount(p.ID()) == total && r2.ReplicaReportCount(p.ID()) == total
+	})
+
+	// Phase 4: kill the primary for good and promote. The probe must pick a
+	// fully caught-up replica, reconcile it against the survivor, and cache
+	// the observed positions in the book.
+	fd.BlackHole(p.Addr())
+	if !book.Demote(infoP.ID()) {
+		t.Fatal("demote failed")
+	}
+	promoted, ok := peer.PromoteReplica(book, infoP.ID(), replyOnion)
+	if !ok {
+		t.Fatal("PromoteReplica found no candidate")
+	}
+	if promoted != info1.ID() && promoted != info2.ID() {
+		t.Fatalf("promoted unknown node %v", promoted)
+	}
+	if book.ReplicaSeq(promoted, infoP.ID()) == 0 {
+		t.Fatal("promotion did not cache the replica's position")
+	}
+	if peer.Metrics().Snapshot()["node_failover_total"] < 1 {
+		t.Fatal("failover counter not bumped")
+	}
+
+	// The promoted replica answers trust requests with exactly the shadow
+	// model's tallies — the acknowledged history survived the primary.
+	promotedInfo := info1
+	promotedNode := r1
+	if promoted == info2.ID() {
+		promotedInfo, promotedNode = info2, r2
+	}
+	if got := promotedNode.ReplicaReportCount(p.ID()); got != total {
+		t.Fatalf("promoted replica holds %d reports, want %d (acknowledged)", got, total)
+	}
+	for subj, tl := range shadow {
+		v, hasData, err := peer.RequestTrust(promotedInfo, subj, replyOnion)
+		if err != nil {
+			t.Fatalf("trust from promoted replica: %v", err)
+		}
+		if !hasData {
+			t.Fatalf("promoted replica has no data for subject %v", subj)
+		}
+		want := float64(tl[0]+1) / float64(tl[0]+tl[1]+2)
+		if math.Abs(float64(v)-want) > 1e-9 {
+			t.Fatalf("subject %v: promoted trust %v, shadow %v (pos=%d neg=%d)", subj, v, want, tl[0], tl[1])
+		}
+	}
+
+	ps := p.Stats()
+	if ps.ReplBatches < int64(total) || ps.ReplRepairs < 1 {
+		t.Fatalf("primary repl stats: %+v", ps)
+	}
+	if r1.Stats().ReplApplied < 1 {
+		t.Fatal("r1 never applied a shipped batch")
+	}
+}

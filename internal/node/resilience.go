@@ -38,6 +38,19 @@ type resilienceCounters struct {
 	reportsLost     *metrics.Counter
 	outboxSent      *metrics.Counter
 	outboxDepth     *metrics.Gauge
+
+	// Replication health (DESIGN.md §10).
+	replHandoffDepth   *metrics.Gauge
+	replHandoffDropped *metrics.Counter
+	replShardsRepaired *metrics.Counter
+	replAntiEntropy    *metrics.Counter
+
+	// Agent report-store health, mirrored from repstore by
+	// updateStoreHealth so shutdown dumps and scrapes see WAL growth and
+	// compaction trouble.
+	storeWALBytes        *metrics.Gauge
+	storeCompactFailures *metrics.Gauge
+	storeCompactErr      *metrics.Gauge
 }
 
 func (c *resilienceCounters) bind(r *metrics.Registry) {
@@ -50,6 +63,31 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.reportsLost = r.Counter("node_reports_lost_total")
 	c.outboxSent = r.Counter("node_outbox_sent_total")
 	c.outboxDepth = r.Gauge("node_outbox_depth")
+	c.replHandoffDepth = r.Gauge("node_repl_handoff_depth")
+	c.replHandoffDropped = r.Counter("node_repl_handoff_dropped_total")
+	c.replShardsRepaired = r.Counter("node_repl_shards_repaired_total")
+	c.replAntiEntropy = r.Counter("node_repl_antientropy_total")
+	c.storeWALBytes = r.Gauge("node_store_wal_bytes")
+	c.storeCompactFailures = r.Gauge("node_store_compact_failures")
+	c.storeCompactErr = r.Gauge("node_store_compact_err")
+}
+
+// updateStoreHealth refreshes the gauges mirroring the agent store's health:
+// WAL size, compaction failure count, and whether a compaction error is
+// sticking. Refreshed on the flusher cadence and from Stats so dumps are
+// fresh. A no-op for non-agents.
+func (n *Node) updateStoreHealth() {
+	if n.agent == nil {
+		return
+	}
+	st := n.agent.Store()
+	n.cnt.storeWALBytes.Set(st.WALSize())
+	n.cnt.storeCompactFailures.Set(st.CompactFailures())
+	if st.CompactErr() != nil {
+		n.cnt.storeCompactErr.Set(1)
+	} else {
+		n.cnt.storeCompactErr.Set(0)
+	}
 }
 
 // Metrics returns the node's resilience metrics registry (the one passed in
@@ -109,21 +147,34 @@ func (n *Node) noteFailure(book *AgentBook, id pkc.NodeID) {
 	if !book.Demote(id) {
 		return // already out of the active book (e.g. a failed backup probe)
 	}
-	if _, ok := n.promoteBackup(book); ok {
+	if _, ok := n.promoteBackup(book, id); ok {
 		n.cnt.failovers.Inc()
 	}
 }
 
-// promoteBackup restores the most recently demoted backup whose breaker is
-// closed (believed healthy). It returns the promoted agent's ID.
-func (n *Node) promoteBackup(book *AgentBook) (pkc.NodeID, bool) {
+// promoteBackup restores the healthiest backup in place of the demoted agent.
+// Among backups whose breaker is closed it prefers the one with the highest
+// cached replication position for the demoted primary (fed by
+// PromoteReplica's status probes); with no cached positions every candidate
+// scores zero and the most recently demoted healthy backup wins, the
+// pre-replication behavior.
+func (n *Node) promoteBackup(book *AgentBook, demoted pkc.NodeID) (pkc.NodeID, bool) {
+	var (
+		bestID  pkc.NodeID
+		bestSeq uint64
+		found   bool
+	)
 	for _, id := range book.Backups() {
 		if book.BreakerState(id) != resilience.BreakerClosed {
 			continue
 		}
-		if book.Restore(id) {
-			return id, true
+		seq := book.ReplicaSeq(id, demoted)
+		if !found || seq > bestSeq {
+			found, bestID, bestSeq = true, id, seq
 		}
+	}
+	if found && book.Restore(bestID) {
+		return bestID, true
 	}
 	return pkc.NodeID{}, false
 }
@@ -245,6 +296,7 @@ func (n *Node) flushLoop() {
 		case <-timer.C:
 		}
 		_, failed := n.flushOutbox()
+		n.updateStoreHealth()
 		if failed > 0 {
 			backoff *= 2
 			if backoff > maxFlushInterval {

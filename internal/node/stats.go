@@ -23,15 +23,21 @@ type Stats struct {
 	WalksAnswered   int64 // agent-list walks answered
 	ReportsDeferred int64 // reports queued in the outbox instead of sent
 	ReportsLost     int64 // reports dropped (outbox eviction or corruption)
+	ReplBatches     int64 // committed store batches tapped for replication
+	ReplShipped     int64 // batches delivered to and acknowledged by replicas
+	ReplApplied     int64 // shipped batches applied as a replica
+	ReplRepairs     int64 // anti-entropy rounds completed as a primary
+	ReplPulled      int64 // shards pulled from surviving replicas at promotion
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d",
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d)",
 		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
 		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
-		s.ReportsDeferred, s.ReportsLost)
+		s.ReportsDeferred, s.ReportsLost,
+		s.ReplBatches, s.ReplShipped, s.ReplApplied, s.ReplRepairs, s.ReplPulled)
 }
 
 // nodeStats is the atomic backing store.
@@ -41,10 +47,14 @@ type nodeStats struct {
 	onionsForwarded, onionsExited, onionsRejcted atomic.Int64
 	trustServed, reportsStored, walksAnswered    atomic.Int64
 	reportsDeferred, reportsLost                 atomic.Int64
+	replBatches, replShipped, replApplied        atomic.Int64
+	replRepairs, replPulled                      atomic.Int64
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. Taking a snapshot also
+// refreshes the store-health gauges so a shutdown dump sees current values.
 func (n *Node) Stats() Stats {
+	n.updateStoreHealth()
 	readErr := n.stats.framesReadErr.Load()
 	decodeErr := n.stats.framesDecodeErr.Load()
 	return Stats{
@@ -61,6 +71,11 @@ func (n *Node) Stats() Stats {
 		WalksAnswered:   n.stats.walksAnswered.Load(),
 		ReportsDeferred: n.stats.reportsDeferred.Load(),
 		ReportsLost:     n.stats.reportsLost.Load(),
+		ReplBatches:     n.stats.replBatches.Load(),
+		ReplShipped:     n.stats.replShipped.Load(),
+		ReplApplied:     n.stats.replApplied.Load(),
+		ReplRepairs:     n.stats.replRepairs.Load(),
+		ReplPulled:      n.stats.replPulled.Load(),
 	}
 }
 

@@ -62,6 +62,17 @@ type Options struct {
 	// active log file exceeds this many bytes. 0 picks the default (4 MiB);
 	// negative disables auto-compaction.
 	CompactAfter int64
+	// OnCommit, when set, is invoked with every committed batch of framed
+	// operations (the WAL frame encoding, parseable by ApplyBatch) after the
+	// batch is durable and applied. For a WAL-backed store a batch is one
+	// group commit, delivered in commit order from a single goroutine at a
+	// time; for a memory store each Append/Merge delivers its own one-op
+	// batch, concurrently with other mutators. The callback owns the byte
+	// slice. This is the replication tap: a primary hands these batches to
+	// its shipping loop. Recovery replay does NOT fire it — a restarted
+	// primary re-converges replicas via anti-entropy, not by re-shipping its
+	// disk.
+	OnCommit func(batch []byte)
 }
 
 const defaultCompactAfter = 4 << 20
@@ -87,10 +98,13 @@ type subjectState struct {
 	reporters map[pkc.NodeID]reporterTally
 }
 
-// shard is one lock domain of the subject table.
+// shard is one lock domain of the subject table. version counts the ops
+// applied to the shard since Open (merges bump both involved shards), giving
+// anti-entropy a cheap monotonic progress marker next to the content CRC.
 type shard struct {
 	mu       sync.RWMutex
 	subjects map[pkc.NodeID]*subjectState
+	version  uint64
 }
 
 // Store is the reputation storage engine. Safe for concurrent use.
@@ -180,6 +194,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.replayOps(ops)
 	w.apply = s.applyOps
+	w.onCommit = opts.OnCommit
 	s.wal = w
 	return s, nil
 }
@@ -255,10 +270,12 @@ func (s *Store) Append(r Record) error {
 	}
 	s.applyMu.RLock()
 	var err error
+	op := walOp{kind: kindReport, rec: r}
 	if s.wal == nil {
-		s.applyOp(walOp{kind: kindReport, rec: r})
+		s.applyOp(op)
+		s.emitOp(op)
 	} else {
-		err = s.wal.commit(walOp{kind: kindReport, rec: r})
+		err = s.wal.commit(op)
 	}
 	s.applyMu.RUnlock()
 	if err != nil {
@@ -280,6 +297,7 @@ func (s *Store) Merge(oldID, newID pkc.NodeID) error {
 	op := walOp{kind: kindMerge, oldID: oldID, newID: newID}
 	if s.wal == nil {
 		s.applyOp(op)
+		s.emitOp(op)
 	} else {
 		err = s.wal.commit(op)
 	}
@@ -297,6 +315,15 @@ func (s *Store) applyOps(ops []walOp) {
 	for i := range ops {
 		s.applyOp(ops[i])
 	}
+}
+
+// emitOp frames one just-applied op and hands it to the OnCommit tap.
+// Memory-store path only — WAL stores tap the group-commit batch instead.
+func (s *Store) emitOp(op walOp) {
+	if s.opts.OnCommit == nil {
+		return
+	}
+	s.opts.OnCommit(appendFrame(nil, encodeOp(nil, op)))
 }
 
 // applyOp applies one operation to the in-memory state.
@@ -320,6 +347,7 @@ func (s *Store) applyOp(op walOp) {
 			rt.neg++
 		}
 		st.reporters[r.Reporter] = rt
+		sh.version++
 		sh.mu.Unlock()
 		s.reports.Add(1)
 	case kindMerge:
@@ -348,6 +376,12 @@ func (s *Store) applyMerge(oldID, newID pkc.NodeID) {
 		si.mu.Lock()
 		defer sj.mu.Unlock()
 		defer si.mu.Unlock()
+	}
+	// Bump before the no-op early return so version stays a pure function of
+	// the op stream (replicas apply the same stream, land on the same count).
+	si.version++
+	if i != j {
+		sj.version++
 	}
 	src := si.subjects[oldID]
 	if src == nil {

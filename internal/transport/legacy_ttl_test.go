@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hirep/internal/wire"
+)
+
+// modalServer is a peer that starts legacy (one-shot frames, drops the
+// session hello) and can be upgraded to the session protocol mid-test — the
+// shape of a rolling fleet upgrade.
+func modalServer(t *testing.T, sessions *atomic.Bool) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if sessions.Load() {
+				go ServeConn(nc, ServerConfig{}, echoHandler(0))
+				continue
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				_ = nc.SetDeadline(time.Now().Add(time.Second))
+				typ, payload, err := wire.ReadFrame(nc)
+				if err != nil || typ != wire.TPing {
+					return // hello or junk: silently close, the legacy signature
+				}
+				_ = wire.WriteFrame(nc, wire.TPong, payload)
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestLegacyVerdictExpiresAndReprobes pins the LegacyTTL contract: a cached
+// "peer is legacy" verdict must lapse after the TTL, and the next call must
+// re-attempt negotiation — so a peer upgraded to the session protocol is
+// rediscovered without restarting the client.
+func TestLegacyVerdictExpiresAndReprobes(t *testing.T) {
+	var sessions atomic.Bool
+	addr := modalServer(t, &sessions)
+	const ttl = 200 * time.Millisecond
+	p := newTestPool(t, Options{LegacyTTL: ttl})
+
+	roundTrip := func(step string) {
+		t.Helper()
+		typ, resp, err := p.RoundTrip(addr, wire.TPing, []byte{5}, time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if typ != wire.TPong || len(resp) != 1 || resp[0] != 5 {
+			t.Fatalf("%s: got (%v, %v)", step, typ, resp)
+		}
+	}
+
+	// Discover the peer is legacy; the verdict is cached.
+	roundTrip("legacy discovery")
+	if p.ConnCount() != 0 {
+		t.Fatalf("legacy peer left %d pooled conns", p.ConnCount())
+	}
+	if got := p.Metrics().Snapshot()["transport_legacy_frames_total"]; got != 1 {
+		t.Fatalf("legacy frames = %d, want 1", got)
+	}
+
+	// The peer upgrades, but the cached verdict still routes the next call
+	// down the one-shot path — no negotiation inside the TTL.
+	sessions.Store(true)
+	roundTrip("within TTL")
+	if p.ConnCount() != 0 {
+		t.Fatal("pool negotiated a session while the legacy verdict was live")
+	}
+	if got := p.Metrics().Snapshot()["transport_legacy_frames_total"]; got != 2 {
+		t.Fatalf("legacy frames = %d, want 2", got)
+	}
+
+	// Past the TTL the verdict lapses: the next call re-probes, finds the
+	// upgraded peer, and establishes a pooled session.
+	time.Sleep(ttl + 50*time.Millisecond)
+	roundTrip("after TTL")
+	if p.ConnCount() != 1 {
+		t.Fatalf("conn count = %d after TTL re-probe, want 1 session", p.ConnCount())
+	}
+	if got := p.Metrics().Snapshot()["transport_legacy_frames_total"]; got != 2 {
+		t.Fatalf("legacy frames grew to %d after upgrade", got)
+	}
+
+	// And the session sticks: further calls multiplex, no fresh dials.
+	snapBefore := p.Metrics().Snapshot()["transport_dials_total"]
+	roundTrip("pooled")
+	if got := p.Metrics().Snapshot()["transport_dials_total"]; got != snapBefore {
+		t.Fatalf("dials grew %d → %d on a pooled call", snapBefore, got)
+	}
+}

@@ -45,11 +45,41 @@ const (
 	// how the negotiation detects it.
 	THello
 	THelloAck
+	// Agent-state replication (DESIGN.md §10). These travel as direct
+	// frames between cooperating agents over the pooled transport — the
+	// replication channel is infrastructure between machines that already
+	// know each other's addresses, not part of the anonymous peer protocol.
+	// RReplicate ships one signed, sequenced group-commit batch;
+	// RReplicateAck returns the replica's applied position (and whether it
+	// has diverged and needs repair).
+	RReplicate
+	RReplicateAck
+	// RDigest / RDigestResp exchange per-shard CRC/version digests for
+	// anti-entropy comparison.
+	RDigest
+	RDigestResp
+	// RRepair streams one full shard export into a diverged replica; the
+	// final (sentinel) repair frame seals the round at the primary's
+	// sequence point. RRepairAck confirms application.
+	RRepair
+	RRepairAck
+	// RFetch / RFetchResp let a promoted replica pull a shard from a
+	// surviving replica (promotion-time anti-entropy when the primary is
+	// gone).
+	RFetch
+	RFetchResp
+	// TReplStatusReq / TReplStatusResp are onion-inner messages: a peer asks
+	// a backup agent how caught-up its replica of a given primary is —
+	// the probe stateful promotion (§3.4.3) rests on. The request can carry
+	// a promote flag, instructing the replica to reconcile with surviving
+	// replicas before serving.
+	TReplStatusReq
+	TReplStatusResp
 )
 
 // NumMsgTypes is one past the highest assigned MsgType, for per-type
 // counter arrays.
-const NumMsgTypes = int(THelloAck) + 1
+const NumMsgTypes = int(TReplStatusResp) + 1
 
 func (t MsgType) String() string {
 	switch t {
@@ -83,6 +113,26 @@ func (t MsgType) String() string {
 		return "hello"
 	case THelloAck:
 		return "hello-ack"
+	case RReplicate:
+		return "repl-batch"
+	case RReplicateAck:
+		return "repl-batch-ack"
+	case RDigest:
+		return "repl-digest"
+	case RDigestResp:
+		return "repl-digest-resp"
+	case RRepair:
+		return "repl-repair"
+	case RRepairAck:
+		return "repl-repair-ack"
+	case RFetch:
+		return "repl-fetch"
+	case RFetchResp:
+		return "repl-fetch-resp"
+	case TReplStatusReq:
+		return "repl-status-req"
+	case TReplStatusResp:
+		return "repl-status-resp"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}

@@ -13,9 +13,12 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 # record_bench <bench output> <json path> — append one run to a history file.
+# Repeated samples of the same benchmark (go test -count=N) are collapsed to
+# their median ns/op, so a noisy-neighbor spike on the shared reference
+# container doesn't land in the history as a phantom regression.
 record_bench() {
     BENCH_OUT="$1" BENCH_PATH="$2" python3 - <<'EOF'
-import json, os, re, subprocess
+import json, os, re, statistics, subprocess
 
 out = os.environ["BENCH_OUT"]
 path = os.environ["BENCH_PATH"]
@@ -24,11 +27,19 @@ run = {"date": subprocess.run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"],
        "commit": subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                                 capture_output=True, text=True).stdout.strip() or "worktree",
        "results": {}}
+samples: dict[str, dict] = {}
 for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$", out, re.M):
     name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
-    r = {"ns_op": ns}
+    s = samples.setdefault(name, {"ns": []})
+    s["ns"].append(ns)
     if a := re.search(r"(\d+) allocs/op", rest):
-        r["allocs_op"] = int(a.group(1))
+        s["allocs_op"] = int(a.group(1))
+for name, s in samples.items():
+    r = {"ns_op": statistics.median(s["ns"])}
+    if "allocs_op" in s:
+        r["allocs_op"] = s["allocs_op"]
+    if len(s["ns"]) > 1:
+        r["samples"] = len(s["ns"])
     run["results"][name] = r
 
 doc = json.load(open(path))
@@ -47,8 +58,8 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 if [[ $fast -eq 1 ]]; then
     echo "verify: OK (benchmarks skipped)"
@@ -65,6 +76,29 @@ record_bench "$out" BENCH_simnet.json
 echo "== repstore benchmarks"
 out=$(go test -run '^$' -bench 'BenchmarkRepstore' -benchmem ./internal/repstore/ 2>&1)
 echo "$out"
+
+# The replicated-ingest acceptance bound (within 10% of the unreplicated
+# WAL baseline, DESIGN.md §10) is tighter than this container's noise
+# floor, which drifts on minute scales — consecutive sample blocks land on
+# different load regimes. Time-interleaved A/B pairs cancel the drift, so
+# the recorded medians for these two benchmarks draw on alternated short
+# runs on top of the block sample above.
+echo "== repstore replicated-ingest A/B pairs"
+for _ in 1 2 3 4 5 6; do
+    out="$out
+$(go test -run '^$' -bench 'BenchmarkRepstoreIngest$/^wal$' -benchtime 0.5s -benchmem -count=1 ./internal/repstore/ 2>&1 | grep 'ns/op' || true)
+$(go test -run '^$' -bench 'BenchmarkRepstoreIngestReplicated$' -benchtime 0.5s -benchmem -count=1 ./internal/repstore/ 2>&1 | grep 'ns/op' || true)"
+done
+BENCH_OUT="$out" python3 - <<'EOF'
+import os, re, statistics
+d = {}
+for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", os.environ["BENCH_OUT"], re.M):
+    d.setdefault(m.group(1), []).append(float(m.group(2)))
+w = d.get("BenchmarkRepstoreIngest/wal"), d.get("BenchmarkRepstoreIngestReplicated")
+if all(w):
+    r = statistics.median(w[1]) / statistics.median(w[0])
+    print(f"replication tap ingest overhead (median): {100 * (r - 1):+.1f}%")
+EOF
 
 echo "== appending run to BENCH_repstore.json"
 record_bench "$out" BENCH_repstore.json
