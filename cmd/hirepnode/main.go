@@ -28,6 +28,14 @@
 //	hirepnode -listen 127.0.0.1:7001 -agent -store /var/lib/hirep \
 //	          -replicas 127.0.0.1:7004,127.0.0.1:7005 -sync-interval 5s -handoff-cap 2048
 //
+// On the replica side, replication ingress is an explicit pairing: a standby
+// only accepts state for primaries named in -replica-of, and only serves
+// digests/shard fetches to the group members named there or in -replica-peers
+// (hex node IDs, as printed at startup):
+//
+//	hirepnode -listen 127.0.0.1:7004 -agent -store /var/lib/hirep-replica \
+//	          -replica-of <primary-id-hex> -replica-peers <peer-id-hex>,...
+//
 // Tune the connection-pooled transport (DESIGN.md §9) — pooled connections
 // per peer, multiplexed streams per connection, idle reaping, and the
 // inbound session cap:
@@ -78,6 +86,8 @@ func main() {
 
 		// Replication knobs (DESIGN.md §10, agents only).
 		replicas     = flag.String("replicas", "", "comma-separated replica agent addresses to ship committed batches to")
+		replicaOf    = flag.String("replica-of", "", "comma-separated hex node IDs of primaries this node accepts replication state for")
+		replicaPeers = flag.String("replica-peers", "", "comma-separated hex node IDs of fellow replica-group members allowed to read replication state")
 		syncInterval = flag.Duration("sync-interval", 0, "anti-entropy digest interval per replica (0 = default 5s)")
 		handoffCap   = flag.Int("handoff-cap", 0, "max batches queued per down replica before oldest is dropped (0 = default 1024)")
 
@@ -104,17 +114,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hirepnode: -replicas requires -agent")
 		os.Exit(2)
 	}
+	if (*replicaOf != "" || *replicaPeers != "") && !*agent {
+		fmt.Fprintln(os.Stderr, "hirepnode: -replica-of/-replica-peers require -agent")
+		os.Exit(2)
+	}
 	var replicaAddrs []string
 	for _, a := range strings.Split(*replicas, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			replicaAddrs = append(replicaAddrs, a)
 		}
 	}
+	parseIDs := func(flagName, s string) []pkc.NodeID {
+		var out []pkc.NodeID
+		for _, h := range strings.Split(s, ",") {
+			if h = strings.TrimSpace(h); h == "" {
+				continue
+			}
+			id, err := pkc.ParseNodeID(h)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hirepnode: %s: %v\n", flagName, err)
+				os.Exit(2)
+			}
+			out = append(out, id)
+		}
+		return out
+	}
 
 	n, err := node.Listen(*listen, node.Options{
 		Agent:        *agent,
 		StoreDir:     *store,
 		Replicas:     replicaAddrs,
+		ReplicaOf:    parseIDs("-replica-of", *replicaOf),
+		ReplicaPeers: parseIDs("-replica-peers", *replicaPeers),
 		SyncInterval: *syncInterval,
 		HandoffCap:   *handoffCap,
 		ProbeTimeout: *probeTimeout,
@@ -144,6 +175,11 @@ func main() {
 		}
 	}
 	fmt.Printf("hirep node %s (%s) listening on %s\n", n.ID().Short(), role, n.Addr())
+	if *agent {
+		// The full ID is what operators paste into a standby's -replica-of
+		// (and fellow standbys' -replica-peers) to pair the replica group.
+		fmt.Printf("  node id %s\n", n.ID())
+	}
 
 	if *relays != "" {
 		route, err := fetchRoute(n, strings.Split(*relays, ","))

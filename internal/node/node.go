@@ -100,6 +100,19 @@ type Options struct {
 	// Replicas lists replica-agent addresses this agent ships its committed
 	// report batches to (DESIGN.md §10). Requires Agent.
 	Replicas []string
+	// ReplicaOf lists the primary agent IDs this node replicates FOR:
+	// RReplicate/RRepair frames (and on-demand replica store creation) are
+	// accepted only from these identities. Replication is an offline
+	// pairing — without an entry here (or a later AuthorizeReplicaOf call)
+	// every replication frame is dropped, however validly signed, so an
+	// attacker cannot mint an identity and poison this agent's combined
+	// tally or fill its disk with replica stores.
+	ReplicaOf []pkc.NodeID
+	// ReplicaPeers lists fellow replica-group member IDs allowed to read
+	// this node's replication state (RDigest/RFetch — shard exports carry
+	// per-reporter tallies and must stay inside the group). IDs in
+	// ReplicaOf are implicitly allowed. See also AuthorizeReplicaPeer.
+	ReplicaPeers []pkc.NodeID
 	// SyncInterval is the cadence of the periodic anti-entropy pass against
 	// each replica (default 5s).
 	SyncInterval time.Duration
@@ -335,7 +348,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 			return nil, fmt.Errorf("node: open report store: %w", err)
 		}
 		n.agent = agentdir.NewWithStore(id, 0, st)
-		n.replicas = &replicaSet{m: make(map[pkc.NodeID]*replState)}
+		n.replicas = newReplicaSet(opts.ReplicaOf, opts.ReplicaPeers)
 		if n.repl != nil {
 			n.repl.start()
 		}

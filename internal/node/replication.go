@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,12 @@ type replTarget struct {
 	brk   *resilience.Breaker
 	kick  chan struct{}
 	acked atomic.Uint64 // highest sequence the replica has acknowledged
+	// dirty means the replica's state is not known to equal ours: set at
+	// start (a cold standby must get one full comparison) and whenever a
+	// round fails, cleared by a completed anti-entropy pass. While clear and
+	// fully acked, the periodic tick skips the digest round entirely — a
+	// caught-up fleet costs nothing at steady state.
+	dirty atomic.Bool
 }
 
 // newReplicator builds the shipping state for opts.Replicas. Handoff queues
@@ -156,12 +163,14 @@ func newReplicator(n *Node, id *pkc.Identity) (*replicator, error) {
 			r.closeOutboxes()
 			return nil, fmt.Errorf("node: open handoff journal: %w", err)
 		}
-		r.targets = append(r.targets, &replTarget{
+		t := &replTarget{
 			addr: addr,
 			out:  out,
 			brk:  resilience.NewBreaker(n.opts.Breaker),
 			kick: make(chan struct{}, 1),
-		})
+		}
+		t.dirty.Store(true)
+		r.targets = append(r.targets, t)
 	}
 	return r, nil
 }
@@ -225,11 +234,22 @@ func (r *replicator) senderLoop(t *replTarget) {
 		case <-ticker.C:
 			// The periodic pass is drain + digest comparison, so replicas
 			// converge even when nothing kicks (e.g. divergence from an
-			// earlier eviction while the replica was down).
-			if r.drain(t) {
-				if err := r.antiEntropy(t); err != nil {
-					t.brk.Failure()
-				}
+			// earlier eviction while the replica was down). A replica that is
+			// fully acked and passed its last comparison is skipped outright:
+			// the steady-state cost of an in-sync fleet is zero frames, not a
+			// per-tick sync point over the whole store.
+			if !r.drain(t) {
+				continue
+			}
+			r.mu.Lock()
+			seq := r.seq
+			r.mu.Unlock()
+			if !t.dirty.Load() && t.acked.Load() == seq {
+				continue
+			}
+			if err := r.antiEntropy(t); err != nil {
+				t.dirty.Store(true)
+				t.brk.Failure()
 			}
 		}
 	}
@@ -269,6 +289,7 @@ func (r *replicator) drain(t *replTarget) bool {
 			// The replica missed batches (queue eviction, restart, another
 			// primary incarnation): stream full state and resume from the
 			// sync point.
+			t.dirty.Store(true)
 			if err := r.antiEntropy(t); err != nil {
 				t.brk.Failure()
 				r.updateDepthGauge()
@@ -313,20 +334,38 @@ func (r *replicator) sendBatch(addr string, seq uint64, batch []byte) (replAck, 
 // antiEntropy converges one replica onto the primary's current state:
 //
 //  1. Fetch the replica's per-shard digests first — any write racing this
-//     round makes a shard look mismatched and repaired, never skipped.
-//  2. Under the store's sync point (no mutation in flight, every committed
-//     batch tapped), capture the sequence point S and export every
+//     round makes a shard look mismatched and repaired, never skipped. The
+//     digest response carries the replica-issued challenge every repair
+//     frame of this round must echo.
+//  2. Fast path: if the replica reports our (epoch, acked) position, is not
+//     diverged, and every shard CRC matches, the round ends here — no sync
+//     point, no sentinel, no replica snapshot. Digest CRCs are cached per
+//     shard version, so this comparison is cheap on both sides.
+//  3. Otherwise, under the store's sync point (no mutation in flight, every
+//     committed batch tapped), capture the sequence point S and export every
 //     mismatched shard. The exports correspond to exactly the batches
 //     numbered <= S.
-//  3. Stream the shard exports, then a sealing sentinel carrying S: the
+//  4. Stream the shard exports, then a sealing sentinel carrying S: the
 //     replica adopts (epoch, S) and clears its diverged flag.
 //
 // Handoff entries at or below S are subsumed by the repair and acked.
 func (r *replicator) antiEntropy(t *replTarget) error {
 	st := r.n.agent.Store()
-	theirs, err := r.n.replDigests(t.addr, r.self.ID)
+	theirs, err := r.n.replDigests(t.addr, r.self, r.self.ID)
 	if err != nil {
 		return err
+	}
+	if theirs.epoch == r.epoch && !theirs.diverged && theirs.lastSeq == t.acked.Load() {
+		mine := st.Digests()
+		if digestsEqual(mine, theirs.digests) {
+			t.dirty.Store(false)
+			return nil
+		}
+	}
+	if len(theirs.challenge) != pkc.NonceSize {
+		// The replica issued no challenge: it does not recognize us as its
+		// primary (not in its ReplicaOf set) — repairs would be rejected.
+		return fmt.Errorf("node: replica %s issued no repair challenge: %w", t.addr, ErrBadMessage)
 	}
 	var s uint64
 	exports := make(map[int][]byte)
@@ -341,15 +380,16 @@ func (r *replicator) antiEntropy(t *replTarget) error {
 		}
 	})
 	for i, exp := range exports {
-		if err := r.sendRepair(t.addr, uint64(i), s, exp); err != nil {
+		if err := r.sendRepair(t.addr, uint64(i), s, theirs.challenge, exp); err != nil {
 			return err
 		}
 		r.n.cnt.replShardsRepaired.Inc()
 	}
-	if err := r.sendRepair(t.addr, repairSentinel, s, nil); err != nil {
+	if err := r.sendRepair(t.addr, repairSentinel, s, theirs.challenge, nil); err != nil {
 		return err
 	}
 	t.acked.Store(s)
+	t.dirty.Store(false)
 	for _, e := range t.out.Pending() {
 		d := wire.NewDecoder(e.Payload)
 		if seq := d.U64(); d.Err() == nil && seq <= s {
@@ -362,11 +402,24 @@ func (r *replicator) antiEntropy(t *replTarget) error {
 	return nil
 }
 
-func (r *replicator) sendRepair(addr string, shard, syncSeq uint64, export []byte) error {
+// digestsEqual reports whether two digest vectors describe identical state.
+func digestsEqual(a, b []repstore.ShardDigest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].CRC != b[i].CRC {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *replicator) sendRepair(addr string, shard, syncSeq uint64, challenge, export []byte) error {
 	var sp wire.Encoder
 	sp.U64(replSigRepair).U64(r.epoch).U64(syncSeq)
 	sp.U64(uint64(r.n.agent.Store().ShardCount()))
-	sp.U64(shard).String(r.group).Bytes(export)
+	sp.U64(shard).Bytes(challenge).String(r.group).Bytes(export)
 	typ, _, err := r.n.roundTripTimeout(addr, wire.RRepair, replWrap(r.self, sp.Encode()), r.n.timeout())
 	if err != nil {
 		return err
@@ -395,10 +448,96 @@ func (r *replicator) position() (epoch, seq uint64) {
 // --- replica side --------------------------------------------------------
 
 // replicaSet holds the replica stores this agent maintains for other
-// primaries, keyed by primary nodeID.
+// primaries, keyed by primary nodeID, plus the authorization sets that gate
+// every replication frame: replication is an offline pairing, not an open
+// protocol, so a frame from an unconfigured identity is dropped no matter how
+// well it verifies. primaries are the IDs this node replicates FOR
+// (RReplicate/RRepair ingress, store creation); peers are fellow
+// replica-group members additionally allowed to read state (RDigest/RFetch,
+// promotion-time pulls).
 type replicaSet struct {
-	mu sync.Mutex
-	m  map[pkc.NodeID]*replState
+	mu        sync.Mutex
+	m         map[pkc.NodeID]*replState
+	primaries map[pkc.NodeID]bool
+	peers     map[pkc.NodeID]bool
+	rounds    map[pkc.NodeID]*repairRound
+}
+
+// repairRound is the replica-side state of one in-flight anti-entropy round:
+// the challenge this replica issued (every RRepair frame of the round must
+// echo it, so captured rounds cannot be replayed later) and how many shards
+// the round actually imported (a round that shipped nothing should not force
+// a snapshot).
+type repairRound struct {
+	challenge pkc.Nonce
+	imports   int
+}
+
+func newReplicaSet(primaries, peers []pkc.NodeID) *replicaSet {
+	rs := &replicaSet{
+		m:         make(map[pkc.NodeID]*replState),
+		primaries: make(map[pkc.NodeID]bool),
+		peers:     make(map[pkc.NodeID]bool),
+		rounds:    make(map[pkc.NodeID]*repairRound),
+	}
+	for _, id := range primaries {
+		rs.primaries[id] = true
+	}
+	for _, id := range peers {
+		rs.peers[id] = true
+	}
+	return rs
+}
+
+// AuthorizeReplicaOf allows ids to replicate their agent state into this
+// node (in addition to Options.ReplicaOf). Identities are minted at Listen,
+// so a fleet wires these pairings after its nodes are up.
+func (n *Node) AuthorizeReplicaOf(ids ...pkc.NodeID) {
+	if n.replicas == nil {
+		return
+	}
+	n.replicas.mu.Lock()
+	defer n.replicas.mu.Unlock()
+	for _, id := range ids {
+		n.replicas.primaries[id] = true
+	}
+}
+
+// AuthorizeReplicaPeer allows ids — fellow members of a replica group — to
+// read this node's replication state (digests and shard fetches), in
+// addition to Options.ReplicaPeers.
+func (n *Node) AuthorizeReplicaPeer(ids ...pkc.NodeID) {
+	if n.replicas == nil {
+		return
+	}
+	n.replicas.mu.Lock()
+	defer n.replicas.mu.Unlock()
+	for _, id := range ids {
+		n.replicas.peers[id] = true
+	}
+}
+
+// allowedPrimary reports whether id may mutate replica state on this node.
+func (n *Node) allowedPrimary(id pkc.NodeID) bool {
+	if n.replicas == nil {
+		return false
+	}
+	n.replicas.mu.Lock()
+	defer n.replicas.mu.Unlock()
+	return n.replicas.primaries[id]
+}
+
+// allowedReader reports whether id may read replication state from this
+// node: configured primaries and group peers qualify, anyone else — however
+// validly self-signed — does not (shard exports carry per-reporter tallies,
+// which must never leak outside the group).
+func (n *Node) allowedReader(id pkc.NodeID) bool {
+	if n.replicas == nil {
+		return false
+	}
+	n.replicas.mu.Lock()
+	defer n.replicas.mu.Unlock()
+	return n.replicas.primaries[id] || n.replicas.peers[id]
 }
 
 // replState is one primary's replica: its store plus the applied position.
@@ -470,11 +609,18 @@ func (n *Node) ReplicaReportCount(primary pkc.NodeID) int {
 }
 
 // handleReplicate applies one shipped batch. Only the primary itself can
-// mutate its replica: the frame is signed and the signer's derived nodeID is
-// the replica key.
+// mutate its replica: the frame is signed, the signer's derived nodeID is
+// the replica key, and — because the frame is otherwise self-certifying —
+// the signer must be a primary this node was explicitly configured to
+// replicate for, or any attacker could mint an identity and poison the
+// combined tally this agent serves (and fill its disk with replica stores).
 func (n *Node) handleReplicate(r transport.Responder, payload []byte) {
 	sender, part, ok := replUnwrap(payload)
 	if !ok || n.replicas == nil {
+		return
+	}
+	if !n.allowedPrimary(sender) {
+		n.cnt.replUnauthorized.Inc()
 		return
 	}
 	d := wire.NewDecoder(part)
@@ -531,9 +677,17 @@ func (n *Node) handleReplicate(r transport.Responder, payload []byte) {
 
 // handleRepair imports one shard stream of an anti-entropy round, or — for
 // the sentinel frame — seals the round at the primary's sequence point.
+// Every frame must echo the challenge this replica issued in the digest
+// response that opened the round: a primary signature alone is not freshness,
+// and a captured round replayed after the primary's death would otherwise
+// permanently roll a promoted replica back to stale state.
 func (n *Node) handleRepair(r transport.Responder, payload []byte) {
 	sender, part, ok := replUnwrap(payload)
 	if !ok || n.replicas == nil {
+		return
+	}
+	if !n.allowedPrimary(sender) {
+		n.cnt.replUnauthorized.Inc()
 		return
 	}
 	d := wire.NewDecoder(part)
@@ -544,9 +698,14 @@ func (n *Node) handleRepair(r transport.Responder, payload []byte) {
 	syncSeq := d.U64()
 	shardCount := d.U64()
 	shardIndex := d.U64()
+	challenge := d.Bytes()
 	group := d.String()
 	export := d.Bytes()
 	if d.Finish() != nil || epoch == 0 || shardCount == 0 || shardCount > 1<<16 {
+		return
+	}
+	if !n.matchRepairRound(sender, challenge) {
+		n.cnt.replUnauthorized.Inc()
 		return
 	}
 	st, err := n.replicaState(sender, int(shardCount), true)
@@ -556,14 +715,19 @@ func (n *Node) handleRepair(r transport.Responder, payload []byte) {
 	st.mu.Lock()
 	st.group = splitGroup(group)
 	if shardIndex == repairSentinel {
+		imports := n.finishRepairRound(sender) // one seal per round: replay-proof
 		// Seal: state now equals the primary's sync point.
 		st.epoch = epoch
 		st.lastSeq = syncSeq
 		st.diverged = false
 		st.mu.Unlock()
 		// Fold the repaired state into a snapshot so a durable replica
-		// reopening does not replay a WAL that predates the imports.
-		_ = st.store.Snapshot()
+		// reopening does not replay a WAL that predates the imports — but only
+		// when the round actually imported something; a no-op seal must not
+		// force a full store snapshot.
+		if imports > 0 {
+			_ = st.store.Snapshot()
+		}
 		_ = r.Respond(wire.RRepairAck, (&wire.Encoder{}).U64(syncSeq).Encode())
 		return
 	}
@@ -576,16 +740,71 @@ func (n *Node) handleRepair(r transport.Responder, payload []byte) {
 	if ierr != nil {
 		return
 	}
+	n.noteRepairImport(sender)
 	_ = r.Respond(wire.RRepairAck, (&wire.Encoder{}).U64(shardIndex).Encode())
 }
 
+// openRepairRound issues a fresh challenge for primary, replacing any
+// outstanding round (an aborted round's challenge dies with it).
+func (n *Node) openRepairRound(primary pkc.NodeID) (pkc.Nonce, error) {
+	challenge, err := pkc.NewNonce(nil)
+	if err != nil {
+		return pkc.Nonce{}, err
+	}
+	n.replicas.mu.Lock()
+	n.replicas.rounds[primary] = &repairRound{challenge: challenge}
+	n.replicas.mu.Unlock()
+	return challenge, nil
+}
+
+// matchRepairRound reports whether challenge matches the outstanding round
+// for primary.
+func (n *Node) matchRepairRound(primary pkc.NodeID, challenge []byte) bool {
+	if len(challenge) != pkc.NonceSize {
+		return false
+	}
+	n.replicas.mu.Lock()
+	defer n.replicas.mu.Unlock()
+	round := n.replicas.rounds[primary]
+	return round != nil && string(challenge) == string(round.challenge[:])
+}
+
+// noteRepairImport counts one imported shard against primary's open round.
+func (n *Node) noteRepairImport(primary pkc.NodeID) {
+	n.replicas.mu.Lock()
+	if round := n.replicas.rounds[primary]; round != nil {
+		round.imports++
+	}
+	n.replicas.mu.Unlock()
+}
+
+// finishRepairRound consumes primary's open round and returns how many
+// shards it imported.
+func (n *Node) finishRepairRound(primary pkc.NodeID) int {
+	n.replicas.mu.Lock()
+	defer n.replicas.mu.Unlock()
+	round := n.replicas.rounds[primary]
+	if round == nil {
+		return 0
+	}
+	delete(n.replicas.rounds, primary)
+	return round.imports
+}
+
 // handleDigest serves this node's per-shard digests for a primary's state —
-// its own store when primary is itself, or its replica of that primary. Any
-// peer presenting a valid self-certifying signature may read digests; only
-// RReplicate/RRepair (primary-signed) mutate.
+// its own store when primary is itself, or its replica of that primary.
+// Digests (and the shard exports they lead to) are visible only to the
+// configured replica group: the requester's derived nodeID must be an
+// authorized primary or group peer. When the requester IS the primary asking
+// about its own state, the response additionally carries a fresh challenge
+// that opens an anti-entropy round — RRepair frames must echo it.
 func (n *Node) handleDigest(r transport.Responder, payload []byte) {
-	_, part, ok := replUnwrap(payload)
-	if !ok {
+	sender, part, ok := replUnwrap(payload)
+	if !ok || n.replicas == nil {
+		return
+	}
+	if !n.allowedReader(sender) {
+		n.cnt.replUnauthorized.Inc()
 		return
 	}
 	d := wire.NewDecoder(part)
@@ -598,9 +817,17 @@ func (n *Node) handleDigest(r transport.Responder, payload []byte) {
 	}
 	var primary pkc.NodeID
 	copy(primary[:], primaryRaw)
-	epoch, lastSeq, store := n.resolveReplSource(primary)
+	var challenge []byte
+	if sender == primary && n.allowedPrimary(sender) {
+		c, err := n.openRepairRound(primary)
+		if err != nil {
+			return
+		}
+		challenge = c[:]
+	}
+	epoch, lastSeq, diverged, store := n.resolveReplSource(primary)
 	var e wire.Encoder
-	e.U64(epoch).U64(lastSeq)
+	e.U64(epoch).U64(lastSeq).Bool(diverged).Bytes(challenge)
 	if store == nil {
 		e.U64(0)
 	} else {
@@ -614,10 +841,16 @@ func (n *Node) handleDigest(r transport.Responder, payload []byte) {
 }
 
 // handleFetch serves one shard export for a primary's state (promotion-time
-// pull between surviving replicas).
+// pull between surviving replicas). Exports include per-reporter tallies, so
+// they are served only to the configured replica group — to anyone else they
+// would dismantle the reporter anonymity the onion path exists for.
 func (n *Node) handleFetch(r transport.Responder, payload []byte) {
-	_, part, ok := replUnwrap(payload)
-	if !ok {
+	sender, part, ok := replUnwrap(payload)
+	if !ok || n.replicas == nil {
+		return
+	}
+	if !n.allowedReader(sender) {
+		n.cnt.replUnauthorized.Inc()
 		return
 	}
 	d := wire.NewDecoder(part)
@@ -631,7 +864,7 @@ func (n *Node) handleFetch(r transport.Responder, payload []byte) {
 	}
 	var primary pkc.NodeID
 	copy(primary[:], primaryRaw)
-	epoch, lastSeq, store := n.resolveReplSource(primary)
+	epoch, lastSeq, _, store := n.resolveReplSource(primary)
 	if store == nil || shardIndex >= uint64(store.ShardCount()) {
 		return
 	}
@@ -643,20 +876,20 @@ func (n *Node) handleFetch(r transport.Responder, payload []byte) {
 // resolveReplSource maps a primary nodeID onto the store this node holds for
 // it: the agent's own store when asked about itself, else its replica store.
 // A nil store means "this node knows nothing about that primary".
-func (n *Node) resolveReplSource(primary pkc.NodeID) (epoch, lastSeq uint64, store *repstore.Store) {
+func (n *Node) resolveReplSource(primary pkc.NodeID) (epoch, lastSeq uint64, diverged bool, store *repstore.Store) {
 	if n.agent != nil && primary == n.agent.ID() {
 		if n.repl != nil {
 			epoch, lastSeq = n.repl.position()
 		}
-		return epoch, lastSeq, n.agent.Store()
+		return epoch, lastSeq, false, n.agent.Store()
 	}
 	st, err := n.replicaState(primary, 0, false)
 	if err != nil || st == nil {
-		return 0, 0, nil
+		return 0, 0, false, nil
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.epoch, st.lastSeq, st.store
+	return st.epoch, st.lastSeq, st.diverged, st.store
 }
 
 // --- digest / fetch clients ----------------------------------------------
@@ -664,14 +897,19 @@ func (n *Node) resolveReplSource(primary pkc.NodeID) (epoch, lastSeq uint64, sto
 // digestResp is a decoded RDigestResp.
 type digestResp struct {
 	epoch, lastSeq uint64
+	diverged       bool
+	challenge      []byte // repair-round challenge; empty unless the replica recognizes the requester as its primary
 	digests        []repstore.ShardDigest
 }
 
-// replDigests asks addr for its per-shard digests of primary's state.
-func (n *Node) replDigests(addr string, primary pkc.NodeID) (digestResp, error) {
+// replDigests asks addr for its per-shard digests of primary's state,
+// signing the request as `as` — the replicator's pinned identity when the
+// primary itself asks (the replica authorizes exactly that ID), the node's
+// current identity for peer pulls.
+func (n *Node) replDigests(addr string, as *pkc.Identity, primary pkc.NodeID) (digestResp, error) {
 	var sp wire.Encoder
 	sp.U64(replSigDigest).Bytes(primary[:])
-	typ, resp, err := n.roundTripTimeout(addr, wire.RDigest, replWrap(n.identity(), sp.Encode()), n.timeout())
+	typ, resp, err := n.roundTripTimeout(addr, wire.RDigest, replWrap(as, sp.Encode()), n.timeout())
 	if err != nil {
 		return digestResp{}, err
 	}
@@ -680,6 +918,8 @@ func (n *Node) replDigests(addr string, primary pkc.NodeID) (digestResp, error) 
 	}
 	d := wire.NewDecoder(resp)
 	out := digestResp{epoch: d.U64(), lastSeq: d.U64()}
+	out.diverged = d.Bool()
+	out.challenge = append([]byte(nil), d.Bytes()...)
 	cnt := d.U64()
 	if d.Err() != nil || cnt > 1<<16 {
 		return digestResp{}, ErrBadMessage
@@ -734,7 +974,7 @@ func (n *Node) pullFromSurvivors(primary pkc.NodeID) int {
 		if addr == "" || addr == self {
 			continue
 		}
-		resp, err := n.replDigests(addr, primary)
+		resp, err := n.replDigests(addr, n.identity(), primary)
 		if err != nil {
 			continue
 		}
@@ -880,7 +1120,7 @@ func (n *Node) handleReplStatusReq(sealed []byte) {
 	if promote {
 		n.pullFromSurvivors(primary)
 	}
-	epoch, lastSeq, store := n.resolveReplSource(primary)
+	epoch, lastSeq, _, store := n.resolveReplSource(primary)
 	var reports int64
 	if store != nil {
 		reports = int64(store.ReportCount())
@@ -949,12 +1189,12 @@ func (n *Node) handleReplStatusResp(sealed []byte) {
 // most-caught-up healthy backup — after instructing it to reconcile with the
 // surviving replicas, so it serves the primary's tallies immediately.
 func (n *Node) PromoteReplica(book *AgentBook, primary pkc.NodeID, replyOnion *onion.Onion) (pkc.NodeID, bool) {
-	var (
-		bestID   pkc.NodeID
-		bestInfo AgentInfo
-		bestSeq  uint64
-		found    bool
-	)
+	type candidate struct {
+		id   pkc.NodeID
+		info AgentInfo
+		seq  uint64
+	}
+	var cands []candidate
 	for _, id := range book.Backups() {
 		info, ok := book.BackupInfo(id)
 		if !ok {
@@ -974,20 +1214,23 @@ func (n *Node) PromoteReplica(book *AgentBook, primary pkc.NodeID, replyOnion *o
 		}
 		n.noteSuccess(book, id)
 		book.NoteReplicaSeq(id, primary, status.LastSeq)
-		if !found || status.LastSeq > bestSeq {
-			found, bestID, bestInfo, bestSeq = true, id, info, status.LastSeq
+		cands = append(cands, candidate{id: id, info: info, seq: status.LastSeq})
+	}
+	// Most-caught-up first; the stable sort keeps recency order among ties.
+	// A candidate that fails its reconcile instruction — or vanished from
+	// the backup cache since probing — must not abandon the failover while
+	// promotable candidates remain.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	for _, c := range cands {
+		if _, err := n.ReplicationStatus(c.info, primary, true, replyOnion, n.timeout()); err != nil {
+			n.noteFailure(book, c.id)
+			continue
 		}
+		if !book.Restore(c.id) {
+			continue
+		}
+		n.cnt.failovers.Inc()
+		return c.id, true
 	}
-	if !found {
-		return pkc.NodeID{}, false
-	}
-	if _, err := n.ReplicationStatus(bestInfo, primary, true, replyOnion, n.timeout()); err != nil {
-		n.noteFailure(book, bestID)
-		return pkc.NodeID{}, false
-	}
-	if !book.Restore(bestID) {
-		return pkc.NodeID{}, false
-	}
-	n.cnt.failovers.Inc()
-	return bestID, true
+	return pkc.NodeID{}, false
 }

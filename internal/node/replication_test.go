@@ -8,6 +8,7 @@ import (
 	"hirep/internal/pkc"
 	"hirep/internal/repstore"
 	"hirep/internal/resilience"
+	"hirep/internal/wire"
 )
 
 // mkReplNode builds a node for replication tests: short sync interval,
@@ -46,6 +47,8 @@ func TestReplicationShipsBatches(t *testing.T) {
 	r1 := mkReplNode(t, nil, true, "", nil, 64)
 	r2 := mkReplNode(t, nil, true, t.TempDir(), nil, 64)
 	p := mkReplNode(t, nil, true, t.TempDir(), []string{r1.Addr(), r2.Addr()}, 64)
+	r1.AuthorizeReplicaOf(p.ID())
+	r2.AuthorizeReplicaOf(p.ID())
 
 	reporter, _ := pkc.NewIdentity(nil)
 	subject, _ := pkc.NewIdentity(nil)
@@ -157,6 +160,13 @@ func TestChaosReplicationFailover(t *testing.T) {
 	p := mkReplNode(t, fd, true, t.TempDir(), []string{r1.Addr(), r2.Addr()}, 4)
 	peer := mkReplNode(t, fd, false, "", nil, 4)
 	relay := mkReplNode(t, fd, false, "", nil, 4)
+
+	// The offline pairing: each standby accepts state for this primary and
+	// lets the other group member pull shards at promotion time.
+	r1.AuthorizeReplicaOf(p.ID())
+	r2.AuthorizeReplicaOf(p.ID())
+	r1.AuthorizeReplicaPeer(r2.ID())
+	r2.AuthorizeReplicaPeer(r1.ID())
 
 	infoFor := func(a *Node) AgentInfo {
 		o, err := a.BuildOnion(fetchRoute(t, a, []*Node{relay}))
@@ -320,5 +330,186 @@ func TestChaosReplicationFailover(t *testing.T) {
 	}
 	if r1.Stats().ReplApplied < 1 {
 		t.Fatal("r1 never applied a shipped batch")
+	}
+}
+
+// TestReplicationUnauthorizedRejected pins the ingress gate (replication is
+// an offline pairing, not an open protocol): replication frames are
+// self-certifying, so a valid signature alone must not let a stranger create
+// replica state on an agent, poison its combined tally, or read the
+// per-reporter tallies inside digests and shard exports.
+func TestReplicationUnauthorizedRejected(t *testing.T) {
+	r := mkReplNode(t, nil, true, "", nil, 64)
+	x := mkReplNode(t, nil, false, "", nil, 64) // transport client for the forged frames
+
+	forged, err := pkc.NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forged RReplicate: pre-gate, this created a replica store for the
+	// attacker's identity and attached it to the agent's serving path.
+	var sp wire.Encoder
+	sp.U64(replSigBatch).U64(1).U64(1).U64(4).String("").Bytes(nil)
+	if _, _, err := x.roundTripTimeout(r.Addr(), wire.RReplicate, replWrap(forged, sp.Encode()), 250*time.Millisecond); err == nil {
+		t.Fatal("unauthorized RReplicate was acknowledged")
+	}
+	r.replicas.mu.Lock()
+	stores := len(r.replicas.m)
+	r.replicas.mu.Unlock()
+	if stores != 0 {
+		t.Fatalf("unauthorized frame created %d replica store(s)", stores)
+	}
+
+	// Forged RDigest / RFetch about the victim's own store: must not leak
+	// shard digests or reporter-level tallies outside the replica group.
+	selfID := r.ID()
+	var dq wire.Encoder
+	dq.U64(replSigDigest).Bytes(selfID[:])
+	if _, _, err := x.roundTripTimeout(r.Addr(), wire.RDigest, replWrap(forged, dq.Encode()), 250*time.Millisecond); err == nil {
+		t.Fatal("unauthorized RDigest was answered")
+	}
+	var fq wire.Encoder
+	fq.U64(replSigFetch).Bytes(selfID[:]).U64(0)
+	if _, _, err := x.roundTripTimeout(r.Addr(), wire.RFetch, replWrap(forged, fq.Encode()), 250*time.Millisecond); err == nil {
+		t.Fatal("unauthorized RFetch was answered")
+	}
+	if got := r.Metrics().Snapshot()["node_repl_unauthorized_total"]; got < 3 {
+		t.Fatalf("unauthorized counter = %d, want >= 3", got)
+	}
+}
+
+// TestRepairReplayRejected pins the freshness binding of anti-entropy: every
+// repair frame must echo the challenge the replica issued in the digest
+// response that opened the round, and the sentinel consumes the round — so a
+// captured primary-signed round replayed later (after the primary's death,
+// say) cannot roll the replica back to stale state.
+func TestRepairReplayRejected(t *testing.T) {
+	r := mkReplNode(t, nil, true, "", nil, 64)
+	x := mkReplNode(t, nil, false, "", nil, 64)
+	primary, err := pkc.NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := primary.ID
+	r.AuthorizeReplicaOf(pid)
+
+	sentinel := func(challenge []byte, syncSeq uint64) []byte {
+		var sp wire.Encoder
+		sp.U64(replSigRepair).U64(7).U64(syncSeq)
+		sp.U64(2).U64(repairSentinel).Bytes(challenge).String("").Bytes(nil)
+		return replWrap(primary, sp.Encode())
+	}
+
+	// A repair that skipped the digest handshake has no round to bind to.
+	if _, _, err := x.roundTripTimeout(r.Addr(), wire.RRepair, sentinel(make([]byte, pkc.NonceSize), 3), 250*time.Millisecond); err == nil {
+		t.Fatal("repair without a digest round was accepted")
+	}
+
+	// Open a round: the primary's digest request earns a challenge.
+	var dq wire.Encoder
+	dq.U64(replSigDigest).Bytes(pid[:])
+	typ, resp, err := x.roundTripTimeout(r.Addr(), wire.RDigest, replWrap(primary, dq.Encode()), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.RDigestResp {
+		t.Fatalf("digest response type = %v", typ)
+	}
+	d := wire.NewDecoder(resp)
+	_, _, _ = d.U64(), d.U64(), d.Bool()
+	challenge := append([]byte(nil), d.Bytes()...)
+	if len(challenge) != pkc.NonceSize {
+		t.Fatalf("challenge length = %d, want %d", len(challenge), pkc.NonceSize)
+	}
+
+	// The genuine round seals at the primary's sync point.
+	frame := sentinel(challenge, 3)
+	typ, _, err = x.roundTripTimeout(r.Addr(), wire.RRepair, frame, time.Second)
+	if err != nil || typ != wire.RRepairAck {
+		t.Fatalf("fresh repair round rejected: type=%v err=%v", typ, err)
+	}
+	if _, lastSeq, _, _ := r.resolveReplSource(pid); lastSeq != 3 {
+		t.Fatalf("sealed lastSeq = %d, want 3", lastSeq)
+	}
+
+	// Replaying the captured frames must die: the round was consumed.
+	if _, _, err := x.roundTripTimeout(r.Addr(), wire.RRepair, frame, 250*time.Millisecond); err == nil {
+		t.Fatal("replayed repair frame was accepted")
+	}
+	if got := r.Metrics().Snapshot()["node_repl_unauthorized_total"]; got < 2 {
+		t.Fatalf("unauthorized counter = %d, want >= 2 (pre-round + replay)", got)
+	}
+}
+
+// TestIdleReplicationQuiesces pins the steady-state cost of a caught-up
+// replica at zero: once the replica is fully acked and the mandatory first
+// comparison has passed, the periodic tick must stop sending digest probes
+// (and therefore stop taking the primary's sync point or snapshotting the
+// replica) until something diverges.
+func TestIdleReplicationQuiesces(t *testing.T) {
+	r1 := mkReplNode(t, nil, true, "", nil, 64)
+	p := mkReplNode(t, nil, true, "", []string{r1.Addr()}, 64)
+	r1.AuthorizeReplicaOf(p.ID())
+
+	reporter, _ := pkc.NewIdentity(nil)
+	subject, _ := pkc.NewIdentity(nil)
+	const reports = 5
+	for i := 0; i < reports; i++ {
+		nonce, err := pkc.NewNonce(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Agent().Store().Append(repstore.Record{
+			Reporter: reporter.ID, Subject: subject.ID, Positive: true, Nonce: nonce,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return r1.ReplicaReportCount(p.ID()) == reports })
+
+	// Let the cold-target comparison (and any in-flight tick) finish, then
+	// measure across several idle sync intervals.
+	time.Sleep(3 * 150 * time.Millisecond)
+	digestsBefore := r1.Metrics().Snapshot()["node_frames_in_repl-digest_total"]
+	roundsBefore := p.Metrics().Snapshot()["node_repl_antientropy_total"]
+	time.Sleep(5 * 150 * time.Millisecond)
+	if got := r1.Metrics().Snapshot()["node_frames_in_repl-digest_total"]; got != digestsBefore {
+		t.Fatalf("idle replica still receives digest probes: %d -> %d", digestsBefore, got)
+	}
+	if got := p.Metrics().Snapshot()["node_repl_antientropy_total"]; got != roundsBefore {
+		t.Fatalf("idle primary still runs full sync rounds: %d -> %d", roundsBefore, got)
+	}
+}
+
+// TestRestoreFirstFallsThrough pins the failover fallback: a promotion
+// candidate that cannot be restored (it left the backup cache between
+// scoring and promotion — a concurrent prober restored it already) must not
+// abandon the failover while other healthy candidates remain.
+func TestRestoreFirstFallsThrough(t *testing.T) {
+	nodes := fleet(t, 3, 2)
+	relay := nodes[2]
+	b1, b2 := nodes[0], nodes[1]
+
+	infoFor := func(a *Node) AgentInfo {
+		o, err := a.BuildOnion(fetchRoute(t, a, []*Node{relay}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Info(o)
+	}
+	info1, info2 := infoFor(b1), infoFor(b2)
+	book, err := NewAgentBook(3, 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !book.AddBackup(info1) || !book.AddBackup(info2) {
+		t.Fatal("AddBackup failed")
+	}
+
+	ghost, _ := pkc.NewIdentity(nil) // best-scored candidate that vanished
+	id, ok := restoreFirst(book, []pkc.NodeID{ghost.ID, info2.ID()})
+	if !ok || id != info2.ID() {
+		t.Fatalf("restoreFirst = (%v, %v), want fallthrough to %v", id, ok, info2.ID())
 	}
 }

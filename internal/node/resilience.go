@@ -1,6 +1,7 @@
 package node
 
 import (
+	"sort"
 	"time"
 
 	"hirep/internal/metrics"
@@ -44,6 +45,7 @@ type resilienceCounters struct {
 	replHandoffDropped *metrics.Counter
 	replShardsRepaired *metrics.Counter
 	replAntiEntropy    *metrics.Counter
+	replUnauthorized   *metrics.Counter
 
 	// Agent report-store health, mirrored from repstore by
 	// updateStoreHealth so shutdown dumps and scrapes see WAL growth and
@@ -67,6 +69,7 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.replHandoffDropped = r.Counter("node_repl_handoff_dropped_total")
 	c.replShardsRepaired = r.Counter("node_repl_shards_repaired_total")
 	c.replAntiEntropy = r.Counter("node_repl_antientropy_total")
+	c.replUnauthorized = r.Counter("node_repl_unauthorized_total")
 	c.storeWALBytes = r.Gauge("node_store_wal_bytes")
 	c.storeCompactFailures = r.Gauge("node_store_compact_failures")
 	c.storeCompactErr = r.Gauge("node_store_compact_err")
@@ -157,24 +160,38 @@ func (n *Node) noteFailure(book *AgentBook, id pkc.NodeID) {
 // cached replication position for the demoted primary (fed by
 // PromoteReplica's status probes); with no cached positions every candidate
 // scores zero and the most recently demoted healthy backup wins, the
-// pre-replication behavior.
+// pre-replication behavior. Candidates are tried in that order until one
+// restores — a single candidate lost to a concurrent probe must not abandon
+// the failover.
 func (n *Node) promoteBackup(book *AgentBook, demoted pkc.NodeID) (pkc.NodeID, bool) {
-	var (
-		bestID  pkc.NodeID
-		bestSeq uint64
-		found   bool
-	)
+	return restoreFirst(book, promotionOrder(book, demoted))
+}
+
+// promotionOrder lists the backups whose breaker is closed, ordered by
+// cached replication position for the demoted primary (highest first; the
+// stable sort keeps the book's recency order among ties).
+func promotionOrder(book *AgentBook, demoted pkc.NodeID) []pkc.NodeID {
+	var out []pkc.NodeID
 	for _, id := range book.Backups() {
-		if book.BreakerState(id) != resilience.BreakerClosed {
-			continue
-		}
-		seq := book.ReplicaSeq(id, demoted)
-		if !found || seq > bestSeq {
-			found, bestID, bestSeq = true, id, seq
+		if book.BreakerState(id) == resilience.BreakerClosed {
+			out = append(out, id)
 		}
 	}
-	if found && book.Restore(bestID) {
-		return bestID, true
+	sort.SliceStable(out, func(i, j int) bool {
+		return book.ReplicaSeq(out[i], demoted) > book.ReplicaSeq(out[j], demoted)
+	})
+	return out
+}
+
+// restoreFirst promotes the first candidate the book still holds as a
+// backup. Restore can fail per-candidate (a concurrent prober already
+// restored it, or it was dropped from the cache); later candidates still
+// get their chance.
+func restoreFirst(book *AgentBook, cands []pkc.NodeID) (pkc.NodeID, bool) {
+	for _, id := range cands {
+		if book.Restore(id) {
+			return id, true
+		}
 	}
 	return pkc.NodeID{}, false
 }

@@ -52,15 +52,25 @@ func (s *Store) Digests() []ShardDigest {
 	return out
 }
 
-// shardDigest computes one shard's digest under its read lock.
+// shardDigest returns one shard's digest, recomputing the CRC only when a
+// mutation invalidated the cached one — so periodic anti-entropy digest
+// passes over an unchanged store never re-encode shard bodies.
 func (s *Store) shardDigest(i int) ShardDigest {
 	sh := &s.shards[i]
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return ShardDigest{
-		CRC:     crc32.Checksum(encodeShardLocked(sh), crcTable),
-		Version: sh.version,
+	if sh.digValid {
+		d := ShardDigest{CRC: sh.digCRC, Version: sh.version}
+		sh.mu.RUnlock()
+		return d
 	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.digValid {
+		sh.digCRC = crc32.Checksum(encodeShardLocked(sh), crcTable)
+		sh.digValid = true
+	}
+	return ShardDigest{CRC: sh.digCRC, Version: sh.version}
 }
 
 // ExportShard serializes one shard — version header plus canonical body —
@@ -149,6 +159,7 @@ func (s *Store) ImportShard(i int, data []byte) error {
 	}
 	sh.subjects = subjects
 	sh.version = version
+	sh.digValid = false
 	sh.mu.Unlock()
 	s.reports.Add(newTotal - oldTotal)
 	return nil

@@ -101,10 +101,14 @@ type subjectState struct {
 // shard is one lock domain of the subject table. version counts the ops
 // applied to the shard since Open (merges bump both involved shards), giving
 // anti-entropy a cheap monotonic progress marker next to the content CRC.
+// digCRC caches the canonical-encoding CRC while digValid holds; every
+// mutation clears digValid, so steady-state digest reads cost nothing.
 type shard struct {
 	mu       sync.RWMutex
 	subjects map[pkc.NodeID]*subjectState
 	version  uint64
+	digCRC   uint32
+	digValid bool
 }
 
 // Store is the reputation storage engine. Safe for concurrent use.
@@ -348,6 +352,7 @@ func (s *Store) applyOp(op walOp) {
 		}
 		st.reporters[r.Reporter] = rt
 		sh.version++
+		sh.digValid = false
 		sh.mu.Unlock()
 		s.reports.Add(1)
 	case kindMerge:
@@ -380,8 +385,10 @@ func (s *Store) applyMerge(oldID, newID pkc.NodeID) {
 	// Bump before the no-op early return so version stays a pure function of
 	// the op stream (replicas apply the same stream, land on the same count).
 	si.version++
+	si.digValid = false
 	if i != j {
 		sj.version++
+		sj.digValid = false
 	}
 	src := si.subjects[oldID]
 	if src == nil {
