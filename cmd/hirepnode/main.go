@@ -19,7 +19,13 @@
 //
 //	hirepnode -retries 4 -retry-base 100ms -breaker-threshold 5 \
 //	          -breaker-cooldown 10s -outbox /var/lib/hirep/outbox.journal \
-//	          -outbox-cap 2048 -quorum 2 -probe-timeout 500ms
+//	          -outbox-cap 2048 -outbox-flush 250ms -quorum 2 -probe-timeout 500ms
+//
+// Tune the batched, acknowledged report-ingest pipeline (DESIGN.md §11) —
+// reports packed per batch frame on the sending side, and the verification
+// worker pool plus admission queue on the agent side:
+//
+//	hirepnode -agent -report-batch 256 -verify-workers 4 -verify-queue 128
 //
 // Replicate an agent's report store to standby agents (DESIGN.md §10) —
 // committed batches ship live, periodic anti-entropy heals divergence, and a
@@ -82,7 +88,13 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 30s)")
 		outboxPath   = flag.String("outbox", "", "journal file for undeliverable reports (empty = in-memory outbox)")
 		outboxCap    = flag.Int("outbox-cap", 0, "max queued reports before oldest is dropped (0 = default 1024)")
+		outboxFlush  = flag.Duration("outbox-flush", 0, "base cadence of the outbox flusher (0 = default 250ms)")
 		quorum       = flag.Int("quorum", 1, "minimum agent answers for an evaluation to succeed")
+
+		// Batched report-ingest knobs (DESIGN.md §11).
+		reportBatch   = flag.Int("report-batch", 0, "max reports packed per batch frame (0 = default 256)")
+		verifyWorkers = flag.Int("verify-workers", 0, "report-verification worker pool size, agents only (0 = default GOMAXPROCS)")
+		verifyQueue   = flag.Int("verify-queue", 0, "batches queued for verification before shedding, agents only (0 = default 128)")
 
 		// Replication knobs (DESIGN.md §10, agents only).
 		replicas     = flag.String("replicas", "", "comma-separated replica agent addresses to ship committed batches to")
@@ -141,22 +153,26 @@ func main() {
 	}
 
 	n, err := node.Listen(*listen, node.Options{
-		Agent:        *agent,
-		StoreDir:     *store,
-		Replicas:     replicaAddrs,
-		ReplicaOf:    parseIDs("-replica-of", *replicaOf),
-		ReplicaPeers: parseIDs("-replica-peers", *replicaPeers),
-		SyncInterval: *syncInterval,
-		HandoffCap:   *handoffCap,
-		ProbeTimeout: *probeTimeout,
-		Retry:        resilience.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase},
-		Breaker:      resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
-		OutboxPath:   *outboxPath,
-		OutboxCap:    *outboxCap,
-		PoolSize:     *poolSize,
-		MaxStreams:   *maxStreams,
-		IdleTimeout:  *idleTimeout,
-		MaxSessions:  *maxSessions,
+		Agent:               *agent,
+		StoreDir:            *store,
+		Replicas:            replicaAddrs,
+		ReplicaOf:           parseIDs("-replica-of", *replicaOf),
+		ReplicaPeers:        parseIDs("-replica-peers", *replicaPeers),
+		SyncInterval:        *syncInterval,
+		HandoffCap:          *handoffCap,
+		ProbeTimeout:        *probeTimeout,
+		Retry:               resilience.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase},
+		Breaker:             resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		OutboxPath:          *outboxPath,
+		OutboxCap:           *outboxCap,
+		OutboxFlushInterval: *outboxFlush,
+		ReportBatchSize:     *reportBatch,
+		VerifyWorkers:       *verifyWorkers,
+		VerifyQueue:         *verifyQueue,
+		PoolSize:            *poolSize,
+		MaxStreams:          *maxStreams,
+		IdleTimeout:         *idleTimeout,
+		MaxSessions:         *maxSessions,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -316,7 +332,7 @@ func runDemo() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n[3] reporter builds its own onion and files 3 signed reports about subject %s\n", subject.ID.Short())
+	fmt.Printf("\n[3] reporter builds its own onion and files 3 signed reports about subject %s as one acknowledged batch\n", subject.ID.Short())
 	repRoute, err := fetchRoute(reporter, []string{relays[1].Addr(), relays[2].Addr()})
 	if err != nil {
 		return err
@@ -328,15 +344,15 @@ func runDemo() error {
 	if _, _, err := reporter.RequestTrust(repBook.Agents()[0], subject.ID, repOnion); err != nil {
 		return fmt.Errorf("introduce reporter: %w", err)
 	}
-	for i := 0; i < 3; i++ {
-		if err := reporter.ReportTransaction(repBook.Agents()[0], subject.ID, true); err != nil {
-			return err
-		}
+	batch := make([]node.BatchReport, 3)
+	for i := range batch {
+		batch[i] = node.BatchReport{Subject: subject.ID, Positive: true}
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for agentNode.Agent().ReportCount() < 3 && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
+	statuses, err := reporter.ReportBatch(repBook.Agents()[0], batch, repOnion)
+	if err != nil {
+		return err
 	}
+	fmt.Printf("    per-report ack statuses: %v (the agent vouches each one landed)\n", statuses)
 	fmt.Printf("    agent state: %s\n", agentNode.Agent())
 
 	fmt.Println("\n[4] requestor evaluates the subject through its discovered trusted agents")

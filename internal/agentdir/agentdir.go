@@ -202,6 +202,78 @@ func (a *Agent) SubmitReport(reporter pkc.NodeID, wire []byte) (Report, error) {
 	return Report{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}, nil
 }
 
+// SubmitReportBatch verifies and stores a batch of signed reports, all from
+// the same reporter, amortizing key lookup and signature dispatch across the
+// batch (DESIGN.md §11). It returns one outcome per input wire, index-aligned:
+// errs[i] == nil means wires[i] was verified and durably appended and
+// reports[i] holds its decoded form; otherwise errs[i] is the same typed
+// error SubmitReport would have returned for that wire. Outcomes are
+// independent — a forged, replayed, or malformed report rejects alone and
+// never blocks a valid neighbor from committing.
+//
+// Signatures are checked with pkc.VerifyBatch; nonces are observed in batch
+// order, so a nonce duplicated within one batch stores its first occurrence
+// and rejects the rest as replays, exactly as if they had arrived singly.
+func (a *Agent) SubmitReportBatch(reporter pkc.NodeID, wires [][]byte) ([]Report, []error) {
+	reports := make([]Report, len(wires))
+	errs := make([]error, len(wires))
+	a.mu.RLock()
+	sp, known := a.keys[reporter]
+	a.mu.RUnlock()
+	// Parse pass: split every wire, filling in per-report parse failures and
+	// collecting the verifiable triples for the batch signature check.
+	type parsed struct {
+		idx      int
+		subject  pkc.NodeID
+		positive bool
+		nonce    pkc.Nonce
+	}
+	var (
+		valid  []parsed
+		bodies [][]byte
+		sigs   [][]byte
+		keys   []ed25519.PublicKey
+	)
+	for i, w := range wires {
+		subject, positive, nonce, body, sig, err := parseReportWire(w)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if !known {
+			errs[i] = ErrUnknownReporter
+			continue
+		}
+		valid = append(valid, parsed{idx: i, subject: subject, positive: positive, nonce: nonce})
+		bodies = append(bodies, body)
+		sigs = append(sigs, sig)
+		keys = append(keys, sp)
+	}
+	ok := pkc.VerifyBatch(keys, bodies, sigs)
+	// Admission pass, in batch order: replay check, then store append. Both
+	// run outside the key lock, like the single-report path.
+	for j, p := range valid {
+		if !ok[j] {
+			errs[p.idx] = ErrBadSignature
+			continue
+		}
+		if !a.replays.Observe(p.nonce) {
+			errs[p.idx] = ErrReplayedReport
+			continue
+		}
+		rec := repstore.Record{Reporter: reporter, Subject: p.subject, Positive: p.positive, Nonce: p.nonce}
+		if err := a.store.Append(rec); err != nil {
+			// Rejected, not stored: release the nonce so a retry of the same
+			// signed report is not misclassified as a replay (see SubmitReport).
+			a.replays.Forget(p.nonce)
+			errs[p.idx] = err
+			continue
+		}
+		reports[p.idx] = Report{Reporter: reporter, Subject: p.subject, Positive: p.positive, Nonce: p.nonce}
+	}
+	return reports, errs
+}
+
 // ApplyKeyUpdate processes a §3.5 key rotation: after verifying the update
 // against the predecessor's registered key, the public-key list entry and
 // any report tallies about the old nodeID move to the new nodeID ("map and

@@ -1,0 +1,71 @@
+package agentdir
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSubmitReportBatchOutcomes checks that every per-wire outcome of a
+// mixed batch matches what SubmitReport would have decided, index-aligned,
+// with valid neighbors committing regardless of rejects around them.
+func TestSubmitReportBatchOutcomes(t *testing.T) {
+	a := New(ident(t), 0)
+	p, subject, stranger := ident(t), ident(t), ident(t)
+	if err := a.RegisterKey(p.ID, p.Sign.Public); err != nil {
+		t.Fatal(err)
+	}
+	dup := nonce(t)
+	wires := [][]byte{
+		SignReport(p, subject.ID, true, nonce(t)),        // 0: valid
+		SignReport(p, subject.ID, true, dup),             // 1: valid, first use of dup
+		SignReport(p, subject.ID, false, dup),            // 2: replay within the batch
+		SignReport(stranger, subject.ID, true, nonce(t)), // 3: wrong signing key
+		[]byte("garbage"),                                // 4: malformed
+		SignReport(p, subject.ID, false, nonce(t)),       // 5: valid, after rejects
+	}
+	reports, errs := a.SubmitReportBatch(p.ID, wires)
+	if len(reports) != len(wires) || len(errs) != len(wires) {
+		t.Fatalf("got %d/%d outcomes for %d wires", len(reports), len(errs), len(wires))
+	}
+	wantErr := []error{nil, nil, ErrReplayedReport, ErrBadSignature, ErrBadReport, nil}
+	for i, want := range wantErr {
+		if want == nil {
+			if errs[i] != nil {
+				t.Fatalf("wire %d: unexpected error %v", i, errs[i])
+			}
+			if reports[i].Reporter != p.ID || reports[i].Subject != subject.ID {
+				t.Fatalf("wire %d: decoded report %+v", i, reports[i])
+			}
+		} else if !errors.Is(errs[i], want) {
+			t.Fatalf("wire %d: got %v, want %v", i, errs[i], want)
+		}
+	}
+	if got := a.ReportCount(); got != 3 {
+		t.Fatalf("stored %d reports, want 3", got)
+	}
+	// A later single submission of the replayed nonce still rejects: the
+	// batch observed it durably.
+	if _, err := a.SubmitReport(p.ID, SignReport(p, subject.ID, true, dup)); !errors.Is(err, ErrReplayedReport) {
+		t.Fatalf("replay after batch: %v", err)
+	}
+}
+
+// TestSubmitReportBatchUnknownReporter rejects every wire of a batch from a
+// reporter the agent holds no key for, without touching the store.
+func TestSubmitReportBatchUnknownReporter(t *testing.T) {
+	a := New(ident(t), 0)
+	p, subject := ident(t), ident(t)
+	wires := [][]byte{
+		SignReport(p, subject.ID, true, nonce(t)),
+		SignReport(p, subject.ID, false, nonce(t)),
+	}
+	_, errs := a.SubmitReportBatch(p.ID, wires)
+	for i, err := range errs {
+		if !errors.Is(err, ErrUnknownReporter) {
+			t.Fatalf("wire %d: got %v, want ErrUnknownReporter", i, err)
+		}
+	}
+	if a.ReportCount() != 0 {
+		t.Fatal("unknown-reporter batch reached the store")
+	}
+}

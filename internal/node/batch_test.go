@@ -1,0 +1,328 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"hirep/internal/agentdir"
+	"hirep/internal/onion"
+	"hirep/internal/pkc"
+	"hirep/internal/wire"
+)
+
+// batchPair builds agent + peer + relay and returns the agent's published
+// descriptor and the peer's reply onion, the standing fixture of every
+// batched-ingest test.
+func batchPair(t *testing.T, agentOpts Options) (agentNode, peer *Node, info AgentInfo, replyOnion *onion.Onion) {
+	t.Helper()
+	if agentOpts.Timeout <= 0 {
+		agentOpts.Timeout = 5 * time.Second
+	}
+	agentOpts.Agent = true
+	agentNode, err := Listen("127.0.0.1:0", agentOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agentNode.Close() })
+	plain := fleet(t, 2, 0)
+	peer, relay := plain[0], plain[1]
+	ao, err := agentNode.BuildOnion(fetchRoute(t, agentNode, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := peer.BuildOnion(fetchRoute(t, peer, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agentNode, peer, agentNode.Info(ao), po
+}
+
+// TestReportBatchLive drives a full batch/ack exchange over real loopback
+// TCP: every report must come back acknowledged as stored, land in the
+// agent's store, and be counted on both sides.
+func TestReportBatchLive(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{})
+	subject, _ := pkc.NewIdentity(nil)
+	const n = 50
+	reports := make([]BatchReport, n)
+	for i := range reports {
+		reports[i] = BatchReport{Subject: subject.ID, Positive: i%2 == 0}
+	}
+	statuses, err := peer.ReportBatch(info, reports, replyOnion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != n {
+		t.Fatalf("ack carried %d statuses, want %d", len(statuses), n)
+	}
+	for i, st := range statuses {
+		if st != StatusStored {
+			t.Fatalf("report %d acked %v, want stored", i, st)
+		}
+	}
+	if got := agentNode.Agent().ReportCount(); got != n {
+		t.Fatalf("agent stored %d reports, want %d", got, n)
+	}
+	as := agentNode.Stats()
+	if as.ReportsStored != n || as.ReportBatches != 1 {
+		t.Fatalf("agent stats: stored=%d batches=%d, want %d/1", as.ReportsStored, as.ReportBatches, n)
+	}
+}
+
+// TestReportBatchMixed hand-crafts a batch mixing a valid report, a
+// replayed nonce, a signature under the wrong key, and a malformed wire —
+// the valid report must still commit and every reject must come back named
+// in the ack and counted by reason, none of them conflated with a store
+// failure. This is the regression test for the silent-drop bug: before the
+// ack pipeline, all three rejects would have vanished without a trace.
+func TestReportBatchMixed(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{})
+	subject, _ := pkc.NewIdentity(nil)
+	stranger, _ := pkc.NewIdentity(nil)
+	self := peer.identity()
+	dup, _ := pkc.NewNonce(nil)
+	fresh, _ := pkc.NewNonce(nil)
+	strangerNonce, _ := pkc.NewNonce(nil)
+	wires := [][]byte{
+		agentdir.SignReport(self, subject.ID, true, fresh),             // valid
+		agentdir.SignReport(self, subject.ID, true, dup),               // valid (first use of dup)
+		agentdir.SignReport(self, subject.ID, false, dup),              // replay of dup
+		agentdir.SignReport(stranger, subject.ID, true, strangerNonce), // signed by the wrong key
+		[]byte("not a report"),                                         // malformed
+	}
+	want := []ReportStatus{StatusStored, StatusStored, StatusReplay, StatusBadKey, StatusMalformed}
+
+	// Send the crafted batch through the real wire path and wait for its ack.
+	nonce, _ := pkc.NewNonce(nil)
+	sealed, err := pkc.Seal(info.AP, encodeReportBatch(self, nonce, replyOnion, wires), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan []ReportStatus, 1)
+	peer.mu.Lock()
+	peer.pendingAcks[nonce] = &batchAckWait{sp: info.SP, count: len(wires), ch: ch}
+	peer.mu.Unlock()
+	if err := peer.sendThroughOnion(info.Onion, wire.TReportBatch, sealed); err != nil {
+		t.Fatal(err)
+	}
+	var statuses []ReportStatus
+	select {
+	case statuses = <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch ack arrived")
+	}
+	for i, st := range statuses {
+		if st != want[i] {
+			t.Fatalf("report %d acked %v, want %v", i, st, want[i])
+		}
+	}
+	// The two valid reports commit despite their rejected neighbors.
+	if got := agentNode.Agent().ReportCount(); got != 2 {
+		t.Fatalf("agent stored %d reports, want 2", got)
+	}
+	as := agentNode.Stats()
+	if as.ReportsStored != 2 {
+		t.Fatalf("ReportsStored = %d, want 2", as.ReportsStored)
+	}
+	if as.IngestRejectedReplay != 1 || as.IngestRejectedKey != 1 || as.IngestRejectedMalformed != 1 {
+		t.Fatalf("reject counters replay=%d key=%d malformed=%d, want 1/1/1",
+			as.IngestRejectedReplay, as.IngestRejectedKey, as.IngestRejectedMalformed)
+	}
+	if as.IngestStoreFailed != 0 {
+		t.Fatalf("IngestStoreFailed = %d: protocol rejects were conflated with store failures", as.IngestStoreFailed)
+	}
+	// The same counts must surface in the metrics registry (the hirepnode
+	// shutdown table reads it).
+	snap := agentNode.Metrics().Snapshot()
+	for _, name := range []string{
+		"node_ingest_rejected_replay_total",
+		"node_ingest_rejected_key_total",
+		"node_ingest_rejected_malformed_total",
+	} {
+		if snap[name] != 1 {
+			t.Fatalf("registry %s = %d, want 1", name, snap[name])
+		}
+	}
+}
+
+// TestLegacyReportRejectsCounted is the single-report regression: a report
+// from an unknown key and a replayed report must not bump reportsStored and
+// must bump the matching reject counter — previously both were swallowed
+// without a trace.
+func TestLegacyReportRejectsCounted(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{})
+	subject, _ := pkc.NewIdentity(nil)
+
+	// Unknown reporter: never introduced, so the agent holds no key for it.
+	if err := peer.ReportTransaction(info, subject.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return agentNode.Stats().IngestRejectedKey == 1 })
+	if as := agentNode.Stats(); as.ReportsStored != 0 {
+		t.Fatalf("unknown-key report was stored (ReportsStored=%d)", as.ReportsStored)
+	}
+
+	// Introduce the peer, then replay one identical signed report.
+	if _, _, err := peer.RequestTrust(info, subject.ID, replyOnion); err != nil {
+		t.Fatal(err)
+	}
+	self := peer.identity()
+	nonce, _ := pkc.NewNonce(nil)
+	reportWire := agentdir.SignReport(self, subject.ID, true, nonce)
+	var e wire.Encoder
+	e.Bytes(self.ID[:])
+	e.Bytes(reportWire)
+	sealed, err := pkc.Seal(info.AP, e.Encode(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := peer.sendThroughOnion(info.Onion, wire.TReport, sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return agentNode.Stats().IngestRejectedReplay == 1 })
+	as := agentNode.Stats()
+	if as.ReportsStored != 1 {
+		t.Fatalf("ReportsStored = %d, want 1 (first copy only)", as.ReportsStored)
+	}
+	if as.IngestRejectedReplay != 1 || as.IngestRejectedKey != 1 {
+		t.Fatalf("reject counters replay=%d key=%d, want 1/1", as.IngestRejectedReplay, as.IngestRejectedKey)
+	}
+}
+
+// TestReportBatchSaturationSheds stops the agent's verification workers and
+// fills its one-slot admission queue: the next batch must come back
+// all-saturated — typed backpressure, not a hang or a silent drop — and
+// ReportBatchOrDefer must route every saturated report into the outbox so
+// acked + rejected + deferred still accounts for the whole batch.
+func TestReportBatchSaturationSheds(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{VerifyWorkers: 1, VerifyQueue: 1})
+	subject, _ := pkc.NewIdentity(nil)
+	agentNode.ingest.stop() // no workers: the queue can only fill
+
+	reports := []BatchReport{{Subject: subject.ID, Positive: true}, {Subject: subject.ID, Positive: false}}
+	// First batch occupies the queue slot (nobody drains it), so its ack
+	// never arrives; give it a throwaway send with a short wait.
+	if _, err := peer.reportBatchOnce(info, reports[:1], replyOnion, 300*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("queued batch returned %v, want %v (ack can only time out)", err, ErrTimeout)
+	}
+	// Second batch finds the queue full and must be shed with an ack.
+	statuses, err := peer.ReportBatch(info, reports, replyOnion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range statuses {
+		if st != StatusSaturated {
+			t.Fatalf("report %d acked %v, want saturated", i, st)
+		}
+		if !st.Retryable() {
+			t.Fatalf("saturated must be retryable")
+		}
+	}
+	if as := agentNode.Stats(); as.IngestShed != 2 {
+		t.Fatalf("IngestShed = %d, want 2", as.IngestShed)
+	}
+
+	// The resilient entry point turns those saturated acks into deferrals.
+	if err := peer.ReportBatchOrDefer(nil, info, reports, replyOnion); err != nil {
+		t.Fatal(err)
+	}
+	ps := peer.Stats()
+	if ps.ReportsDeferred != 2 || ps.ReportsAcked != 0 || ps.ReportsRejected != 0 {
+		t.Fatalf("sender stats deferred=%d acked=%d rejected=%d, want 2/0/0",
+			ps.ReportsDeferred, ps.ReportsAcked, ps.ReportsRejected)
+	}
+	if d := peer.OutboxDepth(); d != 2 {
+		t.Fatalf("outbox depth = %d, want 2", d)
+	}
+}
+
+// TestReportBatchOrDeferReconciles checks the sender-side ledger on the
+// happy path: every report handed to ReportBatchOrDefer is acked as stored,
+// counted exactly once, and nothing is deferred or rejected.
+func TestReportBatchOrDeferReconciles(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{})
+	subject, _ := pkc.NewIdentity(nil)
+	const n = 10
+	reports := make([]BatchReport, n)
+	for i := range reports {
+		reports[i] = BatchReport{Subject: subject.ID, Positive: true}
+	}
+	if err := peer.ReportBatchOrDefer(nil, info, reports, replyOnion); err != nil {
+		t.Fatal(err)
+	}
+	ps := peer.Stats()
+	if ps.ReportsAcked != n || ps.ReportsRejected != 0 || ps.ReportsDeferred != 0 {
+		t.Fatalf("sender stats acked=%d rejected=%d deferred=%d, want %d/0/0",
+			ps.ReportsAcked, ps.ReportsRejected, ps.ReportsDeferred, n)
+	}
+	if got := agentNode.Agent().ReportCount(); got != n {
+		t.Fatalf("agent stored %d, want %d", got, n)
+	}
+}
+
+// TestFlushOutboxBatched attaches a standing reply onion and lets the
+// flusher drain deferred reports as one acknowledged batch: the outbox must
+// empty, every entry retiring on its acked status, and the reports must land
+// in the agent's store.
+func TestFlushOutboxBatched(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{})
+	subject, _ := pkc.NewIdentity(nil)
+	const n = 5
+	for i := 0; i < n; i++ {
+		peer.deferReport(info, subject.ID, i%2 == 0)
+	}
+	if d := peer.OutboxDepth(); d != n {
+		t.Fatalf("outbox depth = %d before flush, want %d", d, n)
+	}
+	peer.SetReplyOnion(replyOnion) // enables the batched flush and kicks it
+	waitFor(t, func() bool { return peer.OutboxDepth() == 0 })
+	waitFor(t, func() bool { return agentNode.Agent().ReportCount() == n })
+	ps := peer.Stats()
+	if ps.ReportsAcked != n || ps.ReportsLost != 0 {
+		t.Fatalf("sender stats acked=%d lost=%d, want %d/0", ps.ReportsAcked, ps.ReportsLost, n)
+	}
+	if as := agentNode.Stats(); as.ReportsStored != n {
+		t.Fatalf("agent stored %d, want %d", as.ReportsStored, n)
+	}
+}
+
+// TestReportBatchTooLarge bounds the sender API.
+func TestReportBatchTooLarge(t *testing.T) {
+	peer := fleet(t, 1, 0)[0]
+	reports := make([]BatchReport, MaxBatchReports+1)
+	if _, err := peer.ReportBatch(AgentInfo{}, reports, nil); err != ErrBatchTooLarge {
+		t.Fatalf("got %v, want ErrBatchTooLarge", err)
+	}
+}
+
+// FuzzDecodeReportBatch throws arbitrary bytes at the batch decoder: it must
+// never panic or over-allocate, and every accepted batch must re-encode from
+// parsed fields without loss of count.
+func FuzzDecodeReportBatch(f *testing.F) {
+	// Seed with a well-formed batch so the fuzzer starts from valid shapes.
+	self, err := pkc.NewIdentity(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var subject pkc.NodeID
+	nonce, _ := pkc.NewNonce(nil)
+	ro := &onion.Onion{Entry: "127.0.0.1:1", Blob: []byte{1, 2, 3}, Seq: 1, Sig: []byte{4}}
+	wires := [][]byte{agentdir.SignReport(self, subject, true, nonce)}
+	f.Add(encodeReportBatch(self, nonce, ro, wires))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := decodeReportBatch(data)
+		if err != nil {
+			return
+		}
+		if len(b.reports) == 0 || len(b.reports) > MaxBatchReports {
+			t.Fatalf("accepted batch with %d reports", len(b.reports))
+		}
+		if len(b.sp) == 0 || b.ap == nil || b.replyOnion == nil {
+			t.Fatal("accepted batch with missing fields")
+		}
+	})
+}

@@ -78,6 +78,62 @@ func BenchmarkLiveReport(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestSingle measures the acknowledged ingest of one report per
+// round trip — a TReportBatch of size 1: sign, seal, onion route, verify,
+// durable append, signed ack back. It is the baseline BenchmarkIngestBatched
+// is judged against in verify.sh.
+func BenchmarkIngestSingle(b *testing.B) {
+	_, peer, info, replyOnion := benchFleet(b)
+	subject, _ := pkc.NewIdentity(nil)
+	one := []BatchReport{{Subject: subject.ID, Positive: true}}
+	// Warm: registers the peer's key at the agent and opens the session.
+	if _, err := peer.ReportBatch(info, one, replyOnion); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		statuses, err := peer.ReportBatch(info, one, replyOnion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if statuses[0] != StatusStored {
+			b.Fatalf("acked %v", statuses[0])
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/sec")
+}
+
+// BenchmarkIngestBatched measures acknowledged end-to-end ingest — wire →
+// batch-verified → durable → acked — at 256 reports per frame. ns/op is per
+// BATCH; the reports/sec metric and the verify.sh gate divide by the batch
+// size, and the ratio against BenchmarkIngestSingle×256 is the pipeline's
+// amortization win (ROADMAP item 2 targets ≥5x).
+func BenchmarkIngestBatched(b *testing.B) {
+	const size = 256
+	_, peer, info, replyOnion := benchFleet(b)
+	subject, _ := pkc.NewIdentity(nil)
+	reports := make([]BatchReport, size)
+	for i := range reports {
+		reports[i] = BatchReport{Subject: subject.ID, Positive: i%2 == 0}
+	}
+	if _, err := peer.ReportBatch(info, reports[:1], replyOnion); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		statuses, err := peer.ReportBatch(info, reports, replyOnion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, st := range statuses {
+			if st != StatusStored {
+				b.Fatalf("report %d acked %v", j, st)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)*size/b.Elapsed().Seconds(), "reports/sec")
+}
+
 // BenchmarkRoundTripDirect measures one legacy one-shot frame round trip
 // over loopback — dial, write, read, close per frame, exactly what the
 // pre-transport node paid on every message. It is the baseline

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +120,17 @@ type Options struct {
 	// HandoffCap bounds each replica's hinted-handoff queue (default 1024);
 	// overflow evicts the oldest batch, and anti-entropy later heals the gap.
 	HandoffCap int
+	// ReportBatchSize caps the reports this node packs per TReportBatch
+	// frame on the sending side — ReportBatchOrDefer and the batched outbox
+	// flush chunk to it (default 256, capped at MaxBatchReports).
+	ReportBatchSize int
+	// VerifyWorkers sizes the agent's report-verification worker pool
+	// (default GOMAXPROCS). Requires Agent to matter.
+	VerifyWorkers int
+	// VerifyQueue bounds the admission queue in front of the verification
+	// pool (default 128 batches); a batch arriving at a full queue is shed
+	// with an all-saturated ack instead of queueing unboundedly.
+	VerifyQueue int
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -155,6 +167,13 @@ type Node struct {
 	pending map[pkc.Nonce]chan trustResponse
 	closed  atomic.Bool // checked on hot paths without taking n.mu
 	wg      sync.WaitGroup
+
+	// Batched report ingest (batch.go): outstanding batch acks keyed by
+	// batch nonce, the agent-side verification pool, and the standing reply
+	// onion enabling acknowledged outbox flushes.
+	pendingAcks map[pkc.Nonce]*batchAckWait
+	ingest      *ingestPool
+	ackOnion    *onion.Onion
 
 	// Replication plumbing (replication.go): primary-side shipping state,
 	// replica stores held for other primaries, and in-flight status probes.
@@ -273,6 +292,18 @@ func Listen(addr string, opts Options) (*Node, error) {
 	if opts.HandoffCap <= 0 {
 		opts.HandoffCap = defaultHandoffCap
 	}
+	if opts.ReportBatchSize <= 0 {
+		opts.ReportBatchSize = defaultReportBatchSize
+	}
+	if opts.ReportBatchSize > MaxBatchReports {
+		opts.ReportBatchSize = MaxBatchReports
+	}
+	if opts.VerifyWorkers <= 0 {
+		opts.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.VerifyQueue <= 0 {
+		opts.VerifyQueue = defaultVerifyQueue
+	}
 	if len(opts.Replicas) > 0 && !opts.Agent {
 		return nil, fmt.Errorf("node: Replicas requires Agent")
 	}
@@ -291,6 +322,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 		ages:          onion.NewAgeTracker(),
 		hs:            make(map[pkc.Nonce]onion.RelayAnswer),
 		pending:       make(map[pkc.Nonce]chan trustResponse),
+		pendingAcks:   make(map[pkc.Nonce]*batchAckWait),
 		pendingStatus: make(map[pkc.Nonce]chan ReplStatus),
 		dialer:        opts.Dialer,
 		reg:           opts.Metrics,
@@ -349,6 +381,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 		}
 		n.agent = agentdir.NewWithStore(id, 0, st)
 		n.replicas = newReplicaSet(opts.ReplicaOf, opts.ReplicaPeers)
+		n.startIngestPool(opts.VerifyWorkers, opts.VerifyQueue)
 		if n.repl != nil {
 			n.repl.start()
 		}
@@ -392,6 +425,9 @@ func (n *Node) Close() error {
 	_ = n.pool.Close() // drains in-flight outbound requests
 	n.closeSessions()  // inbound sessions would otherwise linger to idle timeout
 	n.wg.Wait()
+	if n.ingest != nil {
+		n.ingest.stop() // verification workers must quit before the store closes
+	}
 	if oerr := n.outbox.Close(); err == nil {
 		err = oerr
 	}
@@ -515,6 +551,10 @@ func (n *Node) handleOnion(payload []byte) {
 		n.handleReplStatusReq(inner)
 	case wire.TReplStatusResp:
 		n.handleReplStatusResp(inner)
+	case wire.TReportBatch:
+		n.handleReportBatch(inner)
+	case wire.TReportBatchAck:
+		n.handleReportBatchAck(inner)
 	}
 }
 

@@ -324,9 +324,11 @@ func (n *Node) handleReport(sealed []byte) {
 	}
 	var reporter pkc.NodeID
 	copy(reporter[:], idRaw)
-	if _, err := n.agent.SubmitReport(reporter, reportWire); err == nil {
-		n.stats.reportsStored.Add(1)
-	}
+	// Rejections used to be dropped on the floor here; count every outcome
+	// by reason so replayed, mis-keyed, and store-failed reports are visible
+	// in the stats and the metrics registry even on this unacked path.
+	_, err := n.agent.SubmitReport(reporter, reportWire)
+	n.countIngest(statusFromSubmitError(err))
 }
 
 // encodeOnion serializes an onion into an encoder.

@@ -40,6 +40,19 @@ type resilienceCounters struct {
 	outboxSent      *metrics.Counter
 	outboxDepth     *metrics.Gauge
 
+	// Batched report ingest (DESIGN.md §11): per-reason reject counters on
+	// the agent side — shared with the legacy single-report path, which
+	// previously dropped every rejection invisibly — and ack reconciliation
+	// on the sender side.
+	reportBatches           *metrics.Counter
+	ingestRejectedReplay    *metrics.Counter
+	ingestRejectedKey       *metrics.Counter
+	ingestRejectedMalformed *metrics.Counter
+	ingestStoreFailed       *metrics.Counter
+	ingestShed              *metrics.Counter
+	reportsAcked            *metrics.Counter
+	reportsRejected         *metrics.Counter
+
 	// Replication health (DESIGN.md §10).
 	replHandoffDepth   *metrics.Gauge
 	replHandoffDropped *metrics.Counter
@@ -65,6 +78,14 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.reportsLost = r.Counter("node_reports_lost_total")
 	c.outboxSent = r.Counter("node_outbox_sent_total")
 	c.outboxDepth = r.Gauge("node_outbox_depth")
+	c.reportBatches = r.Counter("node_report_batches_total")
+	c.ingestRejectedReplay = r.Counter("node_ingest_rejected_replay_total")
+	c.ingestRejectedKey = r.Counter("node_ingest_rejected_key_total")
+	c.ingestRejectedMalformed = r.Counter("node_ingest_rejected_malformed_total")
+	c.ingestStoreFailed = r.Counter("node_ingest_store_failed_total")
+	c.ingestShed = r.Counter("node_ingest_shed_total")
+	c.reportsAcked = r.Counter("node_reports_acked_total")
+	c.reportsRejected = r.Counter("node_reports_rejected_total")
 	c.replHandoffDepth = r.Gauge("node_repl_handoff_depth")
 	c.replHandoffDropped = r.Counter("node_repl_handoff_dropped_total")
 	c.replShardsRepaired = r.Counter("node_repl_shards_repaired_total")
@@ -334,9 +355,14 @@ func (n *Node) flushLoop() {
 
 // flushOutbox attempts one pass over the queued reports. Entries whose agent
 // breaker is not closed are left queued (counted as blocked so the loop backs
-// off); undecodable entries are dropped as lost.
+// off); undecodable entries are dropped as lost. With a standing reply onion
+// attached (SetReplyOnion) the pass runs batched and acknowledged instead of
+// firing single fire-and-forget reports.
 func (n *Node) flushOutbox() (sent, blocked int) {
 	book := n.attachedBook()
+	if ro := n.replyOnionForFlush(); ro != nil {
+		return n.flushOutboxBatched(book, ro)
+	}
 	for _, e := range n.outbox.Pending() {
 		if n.isClosed() {
 			break
@@ -360,6 +386,85 @@ func (n *Node) flushOutbox() (sent, blocked int) {
 		_ = n.outbox.Ack(e.Seq)
 		sent++
 		n.cnt.outboxSent.Inc()
+	}
+	n.cnt.outboxDepth.Set(int64(n.outbox.Depth()))
+	return sent, blocked
+}
+
+// flushOutboxBatched drains one pass of the outbox through TReportBatch
+// frames: entries are grouped per agent in queue order, chunked to the
+// node's batch size, and each entry retires on its own acked status —
+// stored retires it as sent, a retryable status (saturated agent, store
+// failure, lost ack) leaves it queued, and an acknowledged protocol reject
+// retires it as rejected, since re-sending an identical reject can never
+// succeed. Unlike the legacy pass, nothing here is assumed delivered: an
+// entry leaves the outbox only on a signed per-report answer.
+func (n *Node) flushOutboxBatched(book *AgentBook, ro *onion.Onion) (sent, blocked int) {
+	type group struct {
+		info    AgentInfo
+		seqs    []uint64
+		reports []BatchReport
+	}
+	groups := make(map[pkc.NodeID]*group)
+	var order []pkc.NodeID
+	for _, e := range n.outbox.Pending() {
+		info, subject, positive, err := decodeDeferredReport(e.Payload)
+		if err != nil {
+			_ = n.outbox.Ack(e.Seq)
+			n.cnt.reportsLost.Inc()
+			n.stats.reportsLost.Add(1)
+			continue
+		}
+		id := info.ID()
+		g := groups[id]
+		if g == nil {
+			g = &group{info: info}
+			groups[id] = g
+			order = append(order, id)
+		}
+		g.seqs = append(g.seqs, e.Seq)
+		g.reports = append(g.reports, BatchReport{Subject: subject, Positive: positive})
+	}
+	size := n.batchSize()
+	for _, id := range order {
+		g := groups[id]
+		if n.isClosed() {
+			blocked += len(g.reports)
+			continue
+		}
+		if book != nil && book.BreakerState(id) != resilience.BreakerClosed {
+			blocked += len(g.reports)
+			continue
+		}
+		for lo := 0; lo < len(g.reports); lo += size {
+			hi := lo + size
+			if hi > len(g.reports) {
+				hi = len(g.reports)
+			}
+			statuses, err := n.ReportBatch(g.info, g.reports[lo:hi], ro)
+			if err != nil {
+				blocked += len(g.reports) - lo
+				n.noteFailure(book, id)
+				break
+			}
+			n.noteSuccess(book, id)
+			for i, st := range statuses {
+				switch {
+				case st == StatusStored:
+					_ = n.outbox.Ack(g.seqs[lo+i])
+					sent++
+					n.cnt.outboxSent.Inc()
+					n.stats.reportsAcked.Add(1)
+					n.cnt.reportsAcked.Inc()
+				case st.Retryable():
+					blocked++
+				default:
+					_ = n.outbox.Ack(g.seqs[lo+i])
+					n.stats.reportsRejected.Add(1)
+					n.cnt.reportsRejected.Inc()
+				}
+			}
+		}
 	}
 	n.cnt.outboxDepth.Set(int64(n.outbox.Depth()))
 	return sent, blocked

@@ -23,6 +23,22 @@ type Stats struct {
 	WalksAnswered   int64 // agent-list walks answered
 	ReportsDeferred int64 // reports queued in the outbox instead of sent
 	ReportsLost     int64 // reports dropped (outbox eviction or corruption)
+
+	// Batched ingest, agent side (DESIGN.md §11). Rejects are counted by
+	// reason on both the batched and the legacy single-report path; store
+	// failures are transient and never conflated with protocol rejects.
+	ReportBatches           int64 // report batches run through the verification pool
+	IngestRejectedReplay    int64 // reports rejected: nonce already observed
+	IngestRejectedKey       int64 // reports rejected: unknown reporter or bad signature
+	IngestRejectedMalformed int64 // reports rejected: undecodable report wire
+	IngestStoreFailed       int64 // reports verified but not stored (retryable)
+	IngestShed              int64 // reports shed by admission control (retryable)
+
+	// Batched ingest, sender side: per-report ack reconciliation. Together
+	// with ReportsDeferred these account for every report handed to
+	// ReportBatchOrDefer — acked + rejected + deferred add up.
+	ReportsAcked    int64 // reports acknowledged as stored by the agent
+	ReportsRejected int64 // reports the agent's ack rejected permanently
 	ReplBatches     int64 // committed store batches tapped for replication
 	ReplShipped     int64 // batches delivered to and acknowledged by replicas
 	ReplApplied     int64 // shipped batches applied as a replica
@@ -32,11 +48,14 @@ type Stats struct {
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d)",
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d)",
 		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
 		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
 		s.ReportsDeferred, s.ReportsLost,
+		s.ReportBatches, s.IngestRejectedReplay, s.IngestRejectedKey,
+		s.IngestRejectedMalformed, s.IngestStoreFailed, s.IngestShed,
+		s.ReportsAcked, s.ReportsRejected,
 		s.ReplBatches, s.ReplShipped, s.ReplApplied, s.ReplRepairs, s.ReplPulled)
 }
 
@@ -49,6 +68,11 @@ type nodeStats struct {
 	reportsDeferred, reportsLost                 atomic.Int64
 	replBatches, replShipped, replApplied        atomic.Int64
 	replRepairs, replPulled                      atomic.Int64
+
+	reportBatches                              atomic.Int64
+	ingestRejectedReplay, ingestRejectedKey    atomic.Int64
+	ingestRejectedMalformed, ingestStoreFailed atomic.Int64
+	ingestShed, reportsAcked, reportsRejected  atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters. Taking a snapshot also
@@ -58,24 +82,32 @@ func (n *Node) Stats() Stats {
 	readErr := n.stats.framesReadErr.Load()
 	decodeErr := n.stats.framesDecodeErr.Load()
 	return Stats{
-		FramesIn:        n.stats.framesIn.Load(),
-		FramesBad:       readErr + decodeErr,
-		FramesReadErr:   readErr,
-		FramesDecodeErr: decodeErr,
-		SessionsShed:    n.stats.sessionsShed.Load(),
-		OnionsForwarded: n.stats.onionsForwarded.Load(),
-		OnionsExited:    n.stats.onionsExited.Load(),
-		OnionsRejected:  n.stats.onionsRejcted.Load(),
-		TrustServed:     n.stats.trustServed.Load(),
-		ReportsStored:   n.stats.reportsStored.Load(),
-		WalksAnswered:   n.stats.walksAnswered.Load(),
-		ReportsDeferred: n.stats.reportsDeferred.Load(),
-		ReportsLost:     n.stats.reportsLost.Load(),
-		ReplBatches:     n.stats.replBatches.Load(),
-		ReplShipped:     n.stats.replShipped.Load(),
-		ReplApplied:     n.stats.replApplied.Load(),
-		ReplRepairs:     n.stats.replRepairs.Load(),
-		ReplPulled:      n.stats.replPulled.Load(),
+		FramesIn:                n.stats.framesIn.Load(),
+		FramesBad:               readErr + decodeErr,
+		FramesReadErr:           readErr,
+		FramesDecodeErr:         decodeErr,
+		SessionsShed:            n.stats.sessionsShed.Load(),
+		OnionsForwarded:         n.stats.onionsForwarded.Load(),
+		OnionsExited:            n.stats.onionsExited.Load(),
+		OnionsRejected:          n.stats.onionsRejcted.Load(),
+		TrustServed:             n.stats.trustServed.Load(),
+		ReportsStored:           n.stats.reportsStored.Load(),
+		WalksAnswered:           n.stats.walksAnswered.Load(),
+		ReportsDeferred:         n.stats.reportsDeferred.Load(),
+		ReportsLost:             n.stats.reportsLost.Load(),
+		ReportBatches:           n.stats.reportBatches.Load(),
+		IngestRejectedReplay:    n.stats.ingestRejectedReplay.Load(),
+		IngestRejectedKey:       n.stats.ingestRejectedKey.Load(),
+		IngestRejectedMalformed: n.stats.ingestRejectedMalformed.Load(),
+		IngestStoreFailed:       n.stats.ingestStoreFailed.Load(),
+		IngestShed:              n.stats.ingestShed.Load(),
+		ReportsAcked:            n.stats.reportsAcked.Load(),
+		ReportsRejected:         n.stats.reportsRejected.Load(),
+		ReplBatches:             n.stats.replBatches.Load(),
+		ReplShipped:             n.stats.replShipped.Load(),
+		ReplApplied:             n.stats.replApplied.Load(),
+		ReplRepairs:             n.stats.replRepairs.Load(),
+		ReplPulled:              n.stats.replPulled.Load(),
 	}
 }
 

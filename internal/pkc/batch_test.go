@@ -1,0 +1,59 @@
+package pkc
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"testing"
+)
+
+// TestVerifyBatchMatchesVerify checks VerifyBatch against single Verify on a
+// mix of valid triples, forged signatures, wrong keys, and malformed inputs,
+// across sizes straddling the serial/parallel split.
+func TestVerifyBatchMatchesVerify(t *testing.T) {
+	idA, err := NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 3, verifyBatchSerialBelow, 33, 100} {
+		keys := make([]ed25519.PublicKey, n)
+		msgs := make([][]byte, n)
+		sigs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			msgs[i] = []byte(fmt.Sprintf("message-%d", i))
+			keys[i] = idA.Sign.Public
+			sigs[i] = idA.SignMessage(msgs[i])
+			switch i % 5 {
+			case 1: // forged signature bits
+				sigs[i] = append([]byte(nil), sigs[i]...)
+				sigs[i][0] ^= 0xff
+			case 2: // signed by the wrong key
+				sigs[i] = idB.SignMessage(msgs[i])
+			case 3: // truncated signature
+				sigs[i] = sigs[i][:10]
+			}
+		}
+		got := VerifyBatch(keys, msgs, sigs)
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d results", n, len(got))
+		}
+		for i := 0; i < n; i++ {
+			if want := Verify(keys[i], msgs[i], sigs[i]); got[i] != want {
+				t.Fatalf("n=%d triple %d: batch=%v single=%v", n, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestVerifyBatchLengthMismatchPanics pins the contract violation.
+func TestVerifyBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched slice lengths")
+		}
+	}()
+	VerifyBatch(make([]ed25519.PublicKey, 2), make([][]byte, 1), make([][]byte, 1))
+}

@@ -157,8 +157,8 @@ func (m *poolMetrics) bind(r *metrics.Registry) {
 // peerState is the pool's view of one remote address.
 type peerState struct {
 	conns       []*conn
-	dialing     int       // in-progress session dials, counted against MaxConnsPerPeer
-	legacyUntil time.Time // while in the future, skip negotiation and go one-shot
+	dialing     int           // in-progress session dials, counted against MaxConnsPerPeer
+	legacyUntil time.Time     // while in the future, skip negotiation and go one-shot
 	wait        chan struct{} // closed when a dial completes, waking queued acquirers
 }
 
@@ -209,11 +209,21 @@ func New(opts Options) *Pool {
 // Metrics returns the registry the pool counts through.
 func (p *Pool) Metrics() *metrics.Registry { return p.opts.Metrics }
 
+// MaxSendPayload is the largest payload Send and RoundTrip accept: the
+// stream framing spends 5 bytes of each frame's length budget on the
+// message type and stream id. Oversized payloads (a report batch packed
+// past the frame limit, say) fail fast with wire.ErrFrameTooLarge before a
+// connection is dialed or a window slot consumed.
+const MaxSendPayload = wire.MaxFrame - 5
+
 // RoundTrip sends one frame to addr and returns the matched response,
 // multiplexed over a pooled session connection when the peer supports it
 // and via a one-shot dial when it is legacy. budget bounds the whole
 // operation, negotiation included.
 func (p *Pool) RoundTrip(addr string, typ wire.MsgType, payload []byte, budget time.Duration) (wire.MsgType, []byte, error) {
+	if len(payload) > MaxSendPayload {
+		return 0, nil, wire.ErrFrameTooLarge
+	}
 	deadline := time.Now().Add(budget)
 	c, err := p.acquire(addr, deadline)
 	if err != nil {
@@ -229,6 +239,9 @@ func (p *Pool) RoundTrip(addr string, typ wire.MsgType, payload []byte, budget t
 
 // Send writes one frame to addr with no response expected.
 func (p *Pool) Send(addr string, typ wire.MsgType, payload []byte, budget time.Duration) error {
+	if len(payload) > MaxSendPayload {
+		return wire.ErrFrameTooLarge
+	}
 	deadline := time.Now().Add(budget)
 	c, err := p.acquire(addr, deadline)
 	if err != nil {

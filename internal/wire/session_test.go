@@ -93,9 +93,9 @@ func TestHelloRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		[]byte("short"),
-		[]byte("XXXX\x01\x00\x00\x00\x10"),                  // wrong magic
-		[]byte{'H', 'R', 'T', 'P', 0, 0, 0, 0, 16},          // version 0
-		append(EncodeHello(Hello{Version: 1}), 0xAA),        // trailing byte
+		[]byte("XXXX\x01\x00\x00\x00\x10"), // wrong magic
+		[]byte{'H', 'R', 'T', 'P', 0, 0, 0, 0, 16},   // version 0
+		append(EncodeHello(Hello{Version: 1}), 0xAA), // trailing byte
 	}
 	for i, c := range cases {
 		if _, err := DecodeHello(c); err == nil {

@@ -75,11 +75,19 @@ const (
 	// replicas before serving.
 	TReplStatusReq
 	TReplStatusResp
+	// TReportBatch / TReportBatchAck are onion-inner messages carrying the
+	// batched, acknowledged report-ingest pipeline (DESIGN.md §11): a batch
+	// packs many signed transaction reports into one frame, and the ack
+	// returns a per-report status through the reporter's reply onion —
+	// unlike the fire-and-forget TReport, rejected reports are visible to
+	// the sender instead of vanishing.
+	TReportBatch
+	TReportBatchAck
 )
 
 // NumMsgTypes is one past the highest assigned MsgType, for per-type
 // counter arrays.
-const NumMsgTypes = int(TReplStatusResp) + 1
+const NumMsgTypes = int(TReportBatchAck) + 1
 
 func (t MsgType) String() string {
 	switch t {
@@ -133,6 +141,10 @@ func (t MsgType) String() string {
 		return "repl-status-req"
 	case TReplStatusResp:
 		return "repl-status-resp"
+	case TReportBatch:
+		return "report-batch"
+	case TReportBatchAck:
+		return "report-batch-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}

@@ -104,8 +104,21 @@ echo "== appending run to BENCH_repstore.json"
 record_bench "$out" BENCH_repstore.json
 
 echo "== node benchmarks (retry-wrapper overhead + live protocol paths)"
-out=$(go test -run '^$' -bench 'BenchmarkRoundTripRetry|BenchmarkLive|BenchmarkRelayHandshake' -benchmem ./internal/node/ 2>&1)
+out=$(go test -run '^$' -bench 'BenchmarkRoundTripRetry|BenchmarkLive|BenchmarkRelayHandshake|BenchmarkIngest' -benchmem ./internal/node/ 2>&1)
 echo "$out"
+
+# Batched acked ingest must hold >= 5x the reports/sec of the single-report
+# round-trip path (DESIGN.md §11). BenchmarkIngestBatched moves 256 reports
+# per op, so the ratio is (single ns/op * 256) / batched ns/op.
+BENCH_OUT="$out" python3 - <<'EOF'
+import os, re
+out = os.environ["BENCH_OUT"]
+ns = {m.group(1): float(m.group(2))
+      for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", out, re.M)}
+s, b = ns.get("BenchmarkIngestSingle"), ns.get("BenchmarkIngestBatched")
+if s and b:
+    print(f"batched ingest speedup over single-report: {s * 256 / b:.1f}x (target >= 5x)")
+EOF
 
 echo "== appending run to BENCH_node.json"
 record_bench "$out" BENCH_node.json
