@@ -48,6 +48,21 @@
 //
 //	hirepnode -pool-size 4 -max-streams 128 -idle-timeout 30s -max-sessions 512
 //
+// Join the routed reputation overlay (DESIGN.md §12) — the subject-ID space
+// is sharded across agent groups by a signed, epoch-versioned placement map.
+// An agent names its group, pins the map-signing authority, and allowlists
+// the peers that may drive shard handoffs into it during a rebalance;
+// clients name placement sources to refresh a stale map from after a
+// wrong-owner answer:
+//
+//	hirepnode -listen 127.0.0.1:7001 -agent -store /var/lib/hirep \
+//	          -group us-east -store-shards 16 \
+//	          -placement-authority <authority-id-hex> \
+//	          -handoff-peers <agent-id-hex>,...
+//
+//	hirepnode -listen 127.0.0.1:7007 \
+//	          -placement-sources 127.0.0.1:7001,127.0.0.1:7002
+//
 // Run the full zero-config demonstration on loopback — an agent, a reporter,
 // a requestor, and a relay chain exchanging onion-routed trust traffic:
 //
@@ -108,6 +123,13 @@ func main() {
 		maxStreams  = flag.Int("max-streams", 0, "in-flight streams per pooled connection (0 = default 64)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "idle connection reap timeout (0 = default 60s)")
 		maxSessions = flag.Int("max-sessions", 0, "max concurrently served inbound connections (0 = default 256)")
+
+		// Routed-overlay knobs (DESIGN.md §12).
+		group        = flag.String("group", "", "agent group this node belongs to in the routed overlay (agents only)")
+		storeShards  = flag.Int("store-shards", 0, "report store shard count, power of two (0 = default 16)")
+		placeSources = flag.String("placement-sources", "", "comma-separated node addresses polled for a newer signed placement map")
+		placeAuth    = flag.String("placement-authority", "", "hex node ID every placement map must be signed by (empty = accept any validly signed newer map)")
+		handoffPeers = flag.String("handoff-peers", "", "comma-separated hex node IDs allowed to drive shard handoffs against this agent")
 	)
 	flag.Parse()
 
@@ -128,6 +150,10 @@ func main() {
 	}
 	if (*replicaOf != "" || *replicaPeers != "") && !*agent {
 		fmt.Fprintln(os.Stderr, "hirepnode: -replica-of/-replica-peers require -agent")
+		os.Exit(2)
+	}
+	if (*group != "" || *storeShards != 0 || *handoffPeers != "") && !*agent {
+		fmt.Fprintln(os.Stderr, "hirepnode: -group/-store-shards/-handoff-peers require -agent")
 		os.Exit(2)
 	}
 	var replicaAddrs []string
@@ -152,9 +178,30 @@ func main() {
 		return out
 	}
 
+	var placeSourceAddrs []string
+	for _, a := range strings.Split(*placeSources, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			placeSourceAddrs = append(placeSourceAddrs, a)
+		}
+	}
+	var authority pkc.NodeID
+	if *placeAuth != "" {
+		id, err := pkc.ParseNodeID(strings.TrimSpace(*placeAuth))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hirepnode: -placement-authority: %v\n", err)
+			os.Exit(2)
+		}
+		authority = id
+	}
+
 	n, err := node.Listen(*listen, node.Options{
 		Agent:               *agent,
 		StoreDir:            *store,
+		Group:               *group,
+		StoreShards:         *storeShards,
+		PlacementSources:    placeSourceAddrs,
+		PlacementAuthority:  authority,
+		HandoffPeers:        parseIDs("-handoff-peers", *handoffPeers),
 		Replicas:            replicaAddrs,
 		ReplicaOf:           parseIDs("-replica-of", *replicaOf),
 		ReplicaPeers:        parseIDs("-replica-peers", *replicaPeers),
@@ -188,6 +235,9 @@ func main() {
 		}
 		if len(replicaAddrs) > 0 {
 			role += fmt.Sprintf(", replicating to %d agent(s)", len(replicaAddrs))
+		}
+		if *group != "" {
+			role += ", overlay group " + *group
 		}
 	}
 	fmt.Printf("hirep node %s (%s) listening on %s\n", n.ID().Short(), role, n.Addr())

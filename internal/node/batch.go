@@ -53,12 +53,16 @@ const (
 	StatusMalformed                       // report wire undecodable
 	StatusStoreFailed                     // verified, but the store append failed (retryable)
 	StatusSaturated                       // shed by admission control before verification (retryable)
+	StatusWrongOwner                      // subject outside this agent group's shards (retryable elsewhere)
 )
 
-// Retryable reports whether the status names a transient agent-side
-// condition worth re-sending the identical report for.
+// Retryable reports whether the status names a condition worth re-sending
+// the identical report for. StatusWrongOwner is retryable in a specific
+// sense: not at this agent — the overlay map says another group owns the
+// subject — but through the outbox, whose flusher re-routes each deferred
+// report by the then-current placement map.
 func (s ReportStatus) Retryable() bool {
-	return s == StatusStoreFailed || s == StatusSaturated
+	return s == StatusStoreFailed || s == StatusSaturated || s == StatusWrongOwner
 }
 
 func (s ReportStatus) String() string {
@@ -75,6 +79,8 @@ func (s ReportStatus) String() string {
 		return "store-failed"
 	case StatusSaturated:
 		return "saturated"
+	case StatusWrongOwner:
+		return "wrong-owner"
 	default:
 		return fmt.Sprintf("ReportStatus(%d)", uint8(s))
 	}
@@ -284,12 +290,34 @@ func (n *Node) ReportBatchOrDefer(book *AgentBook, agent AgentInfo, reports []Ba
 		}
 		n.noteSuccess(book, id)
 		n.reconcileAck(agent, chunk, statuses)
+		if allSaturated(statuses) {
+			// The agent shed the whole chunk before verifying anything: its
+			// admission queue is full, and firing the remaining chunks at it
+			// would only re-defer every report and spin this loop hot against
+			// a saturated peer. Defer the remainder in one step and let the
+			// flusher retry on its backoff cadence.
+			n.deferBatch(agent, reports)
+			break
+		}
 	}
 	return firstErr
 }
 
+// allSaturated reports whether an ack shed its entire (non-empty) batch at
+// admission.
+func allSaturated(statuses []ReportStatus) bool {
+	for _, st := range statuses {
+		if st != StatusSaturated {
+			return false
+		}
+	}
+	return len(statuses) > 0
+}
+
 // reconcileAck folds one ack into the sender-side counters, deferring
-// retryable statuses back into the outbox.
+// retryable statuses back into the outbox. A wrong-owner status additionally
+// marks the placement map stale: the agent routed by a newer epoch than we
+// hold, and the flusher refreshes before re-routing the deferred report.
 func (n *Node) reconcileAck(agent AgentInfo, chunk []BatchReport, statuses []ReportStatus) {
 	for i, st := range statuses {
 		switch {
@@ -297,6 +325,9 @@ func (n *Node) reconcileAck(agent AgentInfo, chunk []BatchReport, statuses []Rep
 			n.stats.reportsAcked.Add(1)
 			n.cnt.reportsAcked.Inc()
 		case st.Retryable():
+			if st == StatusWrongOwner {
+				n.markPlacementStale()
+			}
 			n.deferReport(agent, chunk[i].Subject, chunk[i].Positive)
 		default:
 			n.stats.reportsRejected.Add(1)
@@ -406,6 +437,10 @@ func (n *Node) handleReportBatch(sealed []byte) {
 	}
 	b, err := decodeReportBatch(plain)
 	if err != nil {
+		// A batch that does not decode — including the empty batch, rejected
+		// at the codec so it never occupies a verification-pool slot — is
+		// counted as malformed rather than silently vanishing.
+		n.countIngest(StatusMalformed)
 		return
 	}
 	reporter := pkc.DeriveNodeID(b.sp)
@@ -447,14 +482,34 @@ func (n *Node) handleReportBatch(sealed []byte) {
 	}
 }
 
-// processReportBatch is the worker body: batch-verify and commit one batch,
-// count every outcome by reason, and return the ack.
+// processReportBatch is the worker body: filter out reports this group does
+// not own (cheap subject peek, before any signature work), batch-verify and
+// commit the rest, count every outcome by reason, and return the ack.
 func (n *Node) processReportBatch(job ingestJob) {
-	_, errs := n.agent.SubmitReportBatch(job.reporter, job.reports)
-	statuses := make([]ReportStatus, len(errs))
-	for i, err := range errs {
-		statuses[i] = statusFromSubmitError(err)
-		n.countIngest(statuses[i])
+	statuses := make([]ReportStatus, len(job.reports))
+	owned := make([][]byte, 0, len(job.reports))
+	idx := make([]int, 0, len(job.reports))
+	for i, rw := range job.reports {
+		subject, err := agentdir.DecodeSubjectHint(rw)
+		if err != nil {
+			statuses[i] = StatusMalformed
+			n.countIngest(statuses[i])
+			continue
+		}
+		if write, _ := n.subjectOwnership(subject); !write {
+			statuses[i] = StatusWrongOwner
+			n.countIngest(statuses[i])
+			continue
+		}
+		owned = append(owned, rw)
+		idx = append(idx, i)
+	}
+	if len(owned) > 0 {
+		_, errs := n.agent.SubmitReportBatch(job.reporter, owned)
+		for j, err := range errs {
+			statuses[idx[j]] = statusFromSubmitError(err)
+			n.countIngest(statuses[idx[j]])
+		}
 	}
 	n.stats.reportBatches.Add(1)
 	n.sendBatchAck(job, statuses)
@@ -557,5 +612,8 @@ func (n *Node) countIngest(st ReportStatus) {
 	case StatusSaturated:
 		n.stats.ingestShed.Add(1)
 		n.cnt.ingestShed.Inc()
+	case StatusWrongOwner:
+		n.stats.ingestRejectedWrongOwner.Add(1)
+		n.cnt.ingestRejectedWrongOwner.Inc()
 	}
 }

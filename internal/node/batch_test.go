@@ -326,3 +326,86 @@ func FuzzDecodeReportBatch(f *testing.F) {
 		}
 	})
 }
+
+// TestReportBatchOrDeferStopsWhenSaturated pins the saturation-backoff fix:
+// once a chunk comes back with an all-saturated ack, ReportBatchOrDefer must
+// defer the remaining chunks in one step instead of firing each of them at
+// the saturated agent — the hot loop that re-shed every chunk and burned a
+// full batch/ack round trip per re-defer.
+func TestReportBatchOrDeferStopsWhenSaturated(t *testing.T) {
+	agentNode, err := Listen("127.0.0.1:0", Options{
+		Agent: true, Timeout: 4 * time.Second, VerifyWorkers: 1, VerifyQueue: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agentNode.Close() })
+	relay := fleet(t, 1, 0)[0]
+	// A tiny batch size makes the report list span several chunks, and an
+	// hour-scale flush interval keeps the outbox flusher from re-sending
+	// deferred reports mid-assertion.
+	sender, err := Listen("127.0.0.1:0", Options{
+		Timeout: 4 * time.Second, ReportBatchSize: 2, OutboxFlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sender.Close() })
+	ao, err := agentNode.BuildOnion(fetchRoute(t, agentNode, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := agentNode.Info(ao)
+	ro, err := sender.BuildOnion(fetchRoute(t, sender, []*Node{relay}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject, _ := pkc.NewIdentity(nil)
+
+	agentNode.ingest.stop() // no workers: the queue can only fill
+	// Occupy the single admission slot; nobody drains it, so the ack can
+	// only time out.
+	filler := []BatchReport{{Subject: subject.ID, Positive: true}}
+	if _, err := sender.reportBatchOnce(info, filler, ro, 300*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("queued batch returned %v, want %v", err, ErrTimeout)
+	}
+
+	// Three chunks' worth of reports. Chunk 1 is shed with an all-saturated
+	// ack; chunks 2 and 3 must be deferred without touching the wire.
+	reports := make([]BatchReport, 6)
+	for i := range reports {
+		reports[i] = BatchReport{Subject: subject.ID, Positive: i%2 == 0}
+	}
+	if err := sender.ReportBatchOrDefer(nil, info, reports, ro); err != nil {
+		t.Fatal(err)
+	}
+	if got := sender.Stats().ReportsDeferred; got != 6 {
+		t.Fatalf("deferred %d reports, want all 6", got)
+	}
+	if got := agentNode.Stats().IngestShed; got != 2 {
+		t.Fatalf("agent shed %d reports, want 2: the sender must stop after one all-saturated ack", got)
+	}
+}
+
+// TestEmptyReportBatchCountedMalformed pins the decode-layer rejection of a
+// zero-report batch: it must be counted as malformed and never occupy a
+// verification-pool slot.
+func TestEmptyReportBatchCountedMalformed(t *testing.T) {
+	agentNode, peer, info, replyOnion := batchPair(t, Options{})
+	nonce, err := pkc.NewNonce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := encodeReportBatch(peer.identity(), nonce, replyOnion, nil)
+	sealed, err := pkc.Seal(info.AP, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.sendThroughOnion(info.Onion, wire.TReportBatch, sealed); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return agentNode.Stats().IngestRejectedMalformed == 1 })
+	if got := agentNode.Stats().ReportBatches; got != 0 {
+		t.Fatalf("empty batch reached the verification pool (%d batches run)", got)
+	}
+}

@@ -131,6 +131,26 @@ type Options struct {
 	// pool (default 128 batches); a batch arriving at a full queue is shed
 	// with an all-saturated ack instead of queueing unboundedly.
 	VerifyQueue int
+	// Group names the agent group this node belongs to in the routed overlay
+	// (DESIGN.md §12). With a Group set and a placement map adopted, the
+	// agent serves only the subjects its group owns and answers wrong-owner
+	// for everything else. Empty leaves the agent unpartitioned.
+	Group string
+	// StoreShards sets the report store's shard count (default 16, power of
+	// two). In a routed overlay it must equal the placement map's shard
+	// count, because rebalance migrates whole store shards between groups.
+	StoreShards int
+	// PlacementSources lists node addresses asked for a newer signed
+	// placement map when a wrong-owner answer reveals ours is stale.
+	PlacementSources []string
+	// PlacementAuthority pins the identity every placement map must be
+	// signed by. The zero value accepts any validly signed map with a newer
+	// epoch (test fleets); production fleets set it.
+	PlacementAuthority pkc.NodeID
+	// HandoffPeers lists identities allowed to drive shard handoffs against
+	// this agent — seal shards and pull their exports during a rebalance.
+	// Like ReplicaOf, an offline pairing; see also AuthorizeHandoffPeer.
+	HandoffPeers []pkc.NodeID
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -147,9 +167,10 @@ func (a AgentInfo) ID() pkc.NodeID { return pkc.DeriveNodeID(a.SP) }
 
 // trustResponse is a decoded, verified trust-value response.
 type trustResponse struct {
-	subject pkc.NodeID
-	value   trust.Value
-	hasData bool
+	subject    pkc.NodeID
+	value      trust.Value
+	hasData    bool
+	wrongOwner bool // agent's group does not own the subject (DESIGN.md §12)
 }
 
 // Node is one live hiREP participant.
@@ -180,6 +201,10 @@ type Node struct {
 	repl          *replicator
 	replicas      *replicaSet
 	pendingStatus map[pkc.Nonce]chan ReplStatus
+
+	// Routed-overlay placement state (overlay.go): the adopted signed shard
+	// map, this node's group membership, and in-progress handoff seals.
+	place *placement
 
 	// Transport plumbing: the outbound connection pool, the inbound session
 	// gate, and the per-message-type frame counters (transport.go in this
@@ -330,6 +355,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 		closeCh:       make(chan struct{}),
 		sessionSem:    make(chan struct{}, opts.MaxSessions),
 	}
+	n.place = newPlacement(opts)
 	if n.dialer == nil {
 		n.dialer = resilience.NetDialer("tcp")
 	}
@@ -370,7 +396,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 			}
 			hook = n.repl.onCommit
 		}
-		st, err := repstore.Open(opts.StoreDir, repstore.Options{OnCommit: hook})
+		st, err := repstore.Open(opts.StoreDir, repstore.Options{OnCommit: hook, Shards: opts.StoreShards})
 		if err != nil {
 			ln.Close()
 			n.outbox.Close()
@@ -475,6 +501,12 @@ func (n *Node) handle(typ wire.MsgType, payload []byte, r transport.Responder) {
 		n.handleRepair(r, payload)
 	case wire.RFetch:
 		n.handleFetch(r, payload)
+	case wire.TPlacementReq:
+		n.handlePlacementReq(r, payload)
+	case wire.TPlacement:
+		n.handlePlacementPush(payload)
+	case wire.RHandoff:
+		n.handleHandoff(r, payload)
 	}
 }
 

@@ -108,7 +108,7 @@ func (n *Node) requestTrust(agent AgentInfo, subject pkc.NodeID, replyOnion *oni
 	err := n.retrier.DoMax(attempts, func(_ int, _ time.Duration) error {
 		var aerr error
 		v, hasData, aerr = n.requestTrustOnce(agent, subject, replyOnion, wait)
-		if errors.Is(aerr, ErrClosed) || errors.Is(aerr, ErrBadAgent) {
+		if errors.Is(aerr, ErrClosed) || errors.Is(aerr, ErrBadAgent) || errors.Is(aerr, ErrWrongOwner) {
 			return resilience.Permanent(aerr)
 		}
 		return aerr
@@ -161,6 +161,12 @@ func (n *Node) requestTrustOnce(agent AgentInfo, subject pkc.NodeID, replyOnion 
 	case resp := <-ch:
 		if resp.subject != subject {
 			return 0, false, ErrBadAgent
+		}
+		if resp.wrongOwner {
+			// The agent's group does not own this subject under its placement
+			// epoch: a routing miss, not an answer. The routed caller
+			// refreshes its map and re-asks the owner.
+			return 0, false, ErrWrongOwner
 		}
 		return resp.value, resp.hasData, nil
 	case <-time.After(wait):
@@ -240,17 +246,35 @@ func (n *Node) handleTrustReq(sealed []byte) {
 	}
 	var subject pkc.NodeID
 	copy(subject[:], subjRaw)
-	value, hasData := n.agent.TrustValue(subject)
-	if !hasData {
-		value = 0.5 // no reports: uninformed prior, flagged to the requestor
+	// Routed overlay (DESIGN.md §12): a subject outside this group's shards
+	// gets a signed wrong-owner answer instead of a tally — this agent may
+	// hold a partial (or no) view of it, and serving that would be worse
+	// than redirecting the requestor to the owner.
+	var (
+		value      trust.Value
+		hasData    bool
+		wrongOwner bool
+	)
+	if _, read := n.subjectOwnership(subject); !read {
+		wrongOwner = true
+		value = 0.5
+		n.stats.placementRedirects.Add(1)
+		n.cnt.placementRedirects.Inc()
+	} else {
+		value, hasData = n.agent.TrustValue(subject)
+		if !hasData {
+			value = 0.5 // no reports: uninformed prior, flagged to the requestor
+		}
 	}
-	// Response: subject, value, hasData, nonce, SP_e, signature — sealed to
-	// the requestor's anonymity key and routed through its onion.
+	// Response: subject, value, hasData, nonce, wrong-owner flag, SP_e,
+	// signature — sealed to the requestor's anonymity key and routed through
+	// its onion.
 	var body wire.Encoder
 	body.Bytes(subject[:])
 	body.U64(math.Float64bits(float64(value)))
 	body.Bool(hasData)
 	body.Bytes(nonceRaw)
+	body.Bool(wrongOwner)
 	signedPart := body.Encode()
 	sig := self.SignMessage(signedPart)
 	var e wire.Encoder
@@ -259,7 +283,11 @@ func (n *Node) handleTrustReq(sealed []byte) {
 	if err != nil {
 		return
 	}
-	n.stats.trustServed.Add(1)
+	if !wrongOwner {
+		// A wrong-owner answer is a routing redirect, not a served value;
+		// it is counted in placementRedirects above instead.
+		n.stats.trustServed.Add(1)
+	}
 	_ = n.sendThroughOnion(replyOnion, wire.TTrustResp, sealedResp)
 }
 
@@ -285,6 +313,7 @@ func (n *Node) handleTrustResp(sealed []byte) {
 	bits := b.U64()
 	hasData := b.Bool()
 	nonceRaw := b.Bytes()
+	wrongOwner := b.Bool()
 	if b.Finish() != nil || len(subjRaw) != pkc.NodeIDSize || len(nonceRaw) != pkc.NonceSize {
 		return
 	}
@@ -301,7 +330,7 @@ func (n *Node) handleTrustResp(sealed []byte) {
 	n.mu.Unlock()
 	if ch != nil {
 		select {
-		case ch <- trustResponse{subject: subject, value: value, hasData: hasData}:
+		case ch <- trustResponse{subject: subject, value: value, hasData: hasData, wrongOwner: wrongOwner}:
 		default:
 		}
 	}
@@ -324,6 +353,16 @@ func (n *Node) handleReport(sealed []byte) {
 	}
 	var reporter pkc.NodeID
 	copy(reporter[:], idRaw)
+	// Routed overlay: a mis-routed report must not enter this group's store
+	// — the owner would never learn of it and the tally would fork. On this
+	// unacked legacy path the drop is only countable, not correctable; the
+	// batched path answers StatusWrongOwner so the sender re-routes.
+	if subject, err := agentdir.DecodeSubjectHint(reportWire); err == nil {
+		if write, _ := n.subjectOwnership(subject); !write {
+			n.countIngest(StatusWrongOwner)
+			return
+		}
+	}
 	// Rejections used to be dropped on the floor here; count every outcome
 	// by reason so replayed, mis-keyed, and store-failed reports are visible
 	// in the stats and the metrics registry even on this unacked path.

@@ -60,6 +60,16 @@ type resilienceCounters struct {
 	replAntiEntropy    *metrics.Counter
 	replUnauthorized   *metrics.Counter
 
+	// Routed overlay (DESIGN.md §12): placement-map adoption, wrong-owner
+	// routing traffic, and shard-handoff progress during rebalances.
+	placementAdopted         *metrics.Counter
+	placementRejected        *metrics.Counter
+	placementRedirects       *metrics.Counter
+	ingestRejectedWrongOwner *metrics.Counter
+	handoffSealed            *metrics.Counter
+	handoffPulled            *metrics.Counter
+	handoffUnauthorized      *metrics.Counter
+
 	// Agent report-store health, mirrored from repstore by
 	// updateStoreHealth so shutdown dumps and scrapes see WAL growth and
 	// compaction trouble.
@@ -91,6 +101,13 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.replShardsRepaired = r.Counter("node_repl_shards_repaired_total")
 	c.replAntiEntropy = r.Counter("node_repl_antientropy_total")
 	c.replUnauthorized = r.Counter("node_repl_unauthorized_total")
+	c.placementAdopted = r.Counter("node_placement_adopted_total")
+	c.placementRejected = r.Counter("node_placement_rejected_total")
+	c.placementRedirects = r.Counter("node_placement_redirects_total")
+	c.ingestRejectedWrongOwner = r.Counter("node_ingest_rejected_wrong_owner_total")
+	c.handoffSealed = r.Counter("node_handoff_sealed_total")
+	c.handoffPulled = r.Counter("node_handoff_pulled_total")
+	c.handoffUnauthorized = r.Counter("node_handoff_unauthorized_total")
 	c.storeWALBytes = r.Gauge("node_store_wal_bytes")
 	c.storeCompactFailures = r.Gauge("node_store_compact_failures")
 	c.storeCompactErr = r.Gauge("node_store_compact_err")
@@ -395,11 +412,19 @@ func (n *Node) flushOutbox() (sent, blocked int) {
 // frames: entries are grouped per agent in queue order, chunked to the
 // node's batch size, and each entry retires on its own acked status —
 // stored retires it as sent, a retryable status (saturated agent, store
-// failure, lost ack) leaves it queued, and an acknowledged protocol reject
-// retires it as rejected, since re-sending an identical reject can never
-// succeed. Unlike the legacy pass, nothing here is assumed delivered: an
-// entry leaves the outbox only on a signed per-report answer.
+// failure, lost ack, wrong owner) leaves it queued, and an acknowledged
+// protocol reject retires it as rejected, since re-sending an identical
+// reject can never succeed. Unlike the legacy pass, nothing here is assumed
+// delivered: an entry leaves the outbox only on a signed per-report answer.
+//
+// With a placement map adopted, each entry is re-routed to the subject's
+// CURRENT owner group before grouping (routeDeferred) — this is how reports
+// acked wrong-owner mid-rebalance, or deferred against an agent whose shards
+// have since moved, find their way to the group that owns them now. A
+// wrong-owner ack in an earlier pass marks the map stale, and the pass
+// refreshes it from the placement sources before routing anything.
 func (n *Node) flushOutboxBatched(book *AgentBook, ro *onion.Onion) (sent, blocked int) {
+	n.refreshPlacementIfStale()
 	type group struct {
 		info    AgentInfo
 		seqs    []uint64
@@ -415,6 +440,7 @@ func (n *Node) flushOutboxBatched(book *AgentBook, ro *onion.Onion) (sent, block
 			n.stats.reportsLost.Add(1)
 			continue
 		}
+		info = n.routeDeferred(info, subject)
 		id := info.ID()
 		g := groups[id]
 		if g == nil {
@@ -457,12 +483,23 @@ func (n *Node) flushOutboxBatched(book *AgentBook, ro *onion.Onion) (sent, block
 					n.stats.reportsAcked.Add(1)
 					n.cnt.reportsAcked.Inc()
 				case st.Retryable():
+					if st == StatusWrongOwner {
+						n.markPlacementStale()
+					}
 					blocked++
 				default:
 					_ = n.outbox.Ack(g.seqs[lo+i])
 					n.stats.reportsRejected.Add(1)
 					n.cnt.reportsRejected.Inc()
 				}
+			}
+			if allSaturated(statuses) {
+				// The agent shed this whole chunk at admission: its queue is
+				// full, and every further chunk this pass would bounce the
+				// same way. Leave the remainder queued (blocked, so the loop
+				// backs off) instead of hammering a saturated peer.
+				blocked += len(g.reports) - hi
+				break
 			}
 		}
 	}

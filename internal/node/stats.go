@@ -44,19 +44,31 @@ type Stats struct {
 	ReplApplied     int64 // shipped batches applied as a replica
 	ReplRepairs     int64 // anti-entropy rounds completed as a primary
 	ReplPulled      int64 // shards pulled from surviving replicas at promotion
+
+	// Routed overlay (DESIGN.md §12): placement-map lifecycle, wrong-owner
+	// routing traffic, and shard-handoff progress during rebalances.
+	PlacementAdopted         int64 // signed placement maps adopted
+	PlacementRejected        int64 // placement maps rejected (signature, authority, stale epoch)
+	PlacementRedirects       int64 // wrong-owner answers served or received
+	IngestRejectedWrongOwner int64 // reports rejected: subject outside this group's shards
+	ShardsSealed             int64 // shards sealed against writes for a handoff
+	ShardsPulled             int64 // shards pulled and merged during a rebalance
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d)",
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d)",
 		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
 		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
 		s.ReportsDeferred, s.ReportsLost,
 		s.ReportBatches, s.IngestRejectedReplay, s.IngestRejectedKey,
 		s.IngestRejectedMalformed, s.IngestStoreFailed, s.IngestShed,
+		s.IngestRejectedWrongOwner,
 		s.ReportsAcked, s.ReportsRejected,
-		s.ReplBatches, s.ReplShipped, s.ReplApplied, s.ReplRepairs, s.ReplPulled)
+		s.ReplBatches, s.ReplShipped, s.ReplApplied, s.ReplRepairs, s.ReplPulled,
+		s.PlacementAdopted, s.PlacementRejected, s.PlacementRedirects,
+		s.ShardsSealed, s.ShardsPulled)
 }
 
 // nodeStats is the atomic backing store.
@@ -73,6 +85,11 @@ type nodeStats struct {
 	ingestRejectedReplay, ingestRejectedKey    atomic.Int64
 	ingestRejectedMalformed, ingestStoreFailed atomic.Int64
 	ingestShed, reportsAcked, reportsRejected  atomic.Int64
+
+	placementAdopted, placementRejected atomic.Int64
+	placementRedirects                  atomic.Int64
+	ingestRejectedWrongOwner            atomic.Int64
+	shardsSealed, shardsPulled          atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters. Taking a snapshot also
@@ -108,6 +125,13 @@ func (n *Node) Stats() Stats {
 		ReplApplied:             n.stats.replApplied.Load(),
 		ReplRepairs:             n.stats.replRepairs.Load(),
 		ReplPulled:              n.stats.replPulled.Load(),
+
+		PlacementAdopted:         n.stats.placementAdopted.Load(),
+		PlacementRejected:        n.stats.placementRejected.Load(),
+		PlacementRedirects:       n.stats.placementRedirects.Load(),
+		IngestRejectedWrongOwner: n.stats.ingestRejectedWrongOwner.Load(),
+		ShardsSealed:             n.stats.shardsSealed.Load(),
+		ShardsPulled:             n.stats.shardsPulled.Load(),
 	}
 }
 

@@ -1,0 +1,47 @@
+package overlay
+
+import (
+	"testing"
+
+	"hirep/internal/pkc"
+)
+
+// FuzzDecodePlacement throws arbitrary bytes at both layers of the placement
+// codec: the signed envelope (Decode) and the raw body parser underneath it
+// (decodeBody, which is what an attacker-controlled signed part exercises).
+// Neither may panic or over-allocate, and anything decodeBody accepts must
+// satisfy the map invariants — a hostile map must never install.
+func FuzzDecodePlacement(f *testing.F) {
+	id, err := pkc.NewIdentity(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := Plan(3, 16, []Group{{ID: "a", Descriptor: "da"}, {ID: "b", Descriptor: "db"}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m.Prev[5] = 0
+	signed, err := Encode(id, m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(signed)
+	f.Add(encodeBody(m))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if dm, _, err := Decode(data); err == nil {
+			if verr := dm.Validate(); verr != nil {
+				t.Fatalf("Decode accepted an invalid map: %v", verr)
+			}
+		}
+		if dm, err := decodeBody(data); err == nil {
+			if verr := dm.Validate(); verr != nil {
+				t.Fatalf("decodeBody accepted an invalid map: %v", verr)
+			}
+			// Accepted bodies must re-encode canonically (round-trip fixpoint).
+			if dm2, err := decodeBody(encodeBody(dm)); err != nil || dm2.Epoch != dm.Epoch {
+				t.Fatalf("re-encode round trip failed: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,333 @@
+// Package overlay gives the hiREP agent layer *placement* (DESIGN.md §12):
+// a deterministic, prefix-routed partition of the self-certifying subject-ID
+// space into shards, and a versioned map assigning each shard to an agent
+// group (a primary plus its replicas, DESIGN.md §10). Without placement a
+// subject's reports land on whichever agent happens to receive them, so one
+// agent's repstore is the whole system's ingest ceiling; with it, aggregate
+// ingest grows with the number of groups, and a router holding the current
+// map can send any subject's traffic straight to its owner.
+//
+// Routing is a pure function of the subject ID's 8-byte prefix — the same
+// function internal/repstore uses to pick its internal shard — so one
+// overlay shard corresponds exactly to one store shard, and rebalancing a
+// shard between groups is repstore.ExportShard/ImportShard of that index.
+//
+// Maps are versioned by an epoch and signed by the identity that published
+// them. A router holding epoch E that hits an agent on epoch E' > E gets a
+// wrong-owner answer and refreshes; agents never serve subjects their group
+// does not own under their current map. During a migration a shard carries
+// both its new owner (Assign) and the previous one (Prev): the dual-ownership
+// window in which stale-mapped writers are still accepted by the old group
+// while fresh writers already land on the new one, so no acknowledged report
+// is ever orphaned by a rebalance (node-level protocol in DESIGN.md §12).
+package overlay
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hirep/internal/pkc"
+	"hirep/internal/wire"
+)
+
+// Size bounds of a placement map. MaxShards × the per-shard fields plus
+// MaxGroups × a descriptor keep a signed map far below wire.MaxFrame.
+const (
+	MaxShards = 1024
+	MaxGroups = 256
+)
+
+// NoPrev marks a shard with no previous owner (not migrating).
+const NoPrev = -1
+
+// Errors returned by the codec and validators.
+var (
+	ErrBadMap       = errors.New("overlay: malformed placement map")
+	ErrBadSignature = errors.New("overlay: placement signature invalid")
+)
+
+// Group is one agent group in the map: a stable operator-chosen name and the
+// serving descriptor of the group's primary (an encoded node.AgentInfo — the
+// overlay treats it as opaque; routers decode it to reach the group).
+type Group struct {
+	ID         string
+	Descriptor string
+}
+
+// Map is one placement epoch: the shard count, the groups, and for every
+// shard its owning group index plus — during a migration — the previous
+// owner (the dual-ownership window).
+type Map struct {
+	Epoch  uint64
+	Shards int     // power of two, 1..MaxShards
+	Groups []Group // group index space for Assign/Prev
+	Assign []int32 // len Shards: shard -> owning (write) group index
+	Prev   []int32 // len Shards: previous owner during migration, else NoPrev
+}
+
+// ShardOf routes a subject ID to its shard: the little-endian u64 read of
+// the ID's leading 8 bytes, masked to the shard count. This is byte-for-byte
+// the routing function repstore uses internally, so overlay shard i of an
+// agent's store IS store shard i when the store is opened with the same
+// count.
+func ShardOf(id pkc.NodeID, shards int) int {
+	return int(binary.LittleEndian.Uint64(id[:8]) & uint64(shards-1))
+}
+
+// Owner returns the owning (write) group index for a subject.
+func (m *Map) Owner(subject pkc.NodeID) int {
+	return int(m.Assign[ShardOf(subject, m.Shards)])
+}
+
+// ReadOwner returns the group index a read for subject should route to:
+// the previous owner while the shard is migrating (it holds the full
+// history until the handoff pull completes), the assignee otherwise.
+func (m *Map) ReadOwner(subject pkc.NodeID) int {
+	s := ShardOf(subject, m.Shards)
+	if m.Prev[s] != NoPrev {
+		return int(m.Prev[s])
+	}
+	return int(m.Assign[s])
+}
+
+// Owns reports whether group index g may accept writes for subject under
+// this map: the assignee always, the previous owner while the shard's
+// dual-ownership window is open.
+func (m *Map) Owns(g int, subject pkc.NodeID) bool {
+	s := ShardOf(subject, m.Shards)
+	return int(m.Assign[s]) == g || int(m.Prev[s]) == g
+}
+
+// GroupIndex returns the index of the group named id, or -1.
+func (m *Map) GroupIndex(id string) int {
+	for i, g := range m.Groups {
+		if g.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Move is one shard migration implied by a map: shard must transfer from
+// group From to group To before the dual-ownership window can close.
+type Move struct {
+	Shard    int
+	From, To int
+}
+
+// Moves lists the open migrations of a map (shards with a previous owner),
+// in shard order.
+func (m *Map) Moves() []Move {
+	var out []Move
+	for s, p := range m.Prev {
+		if p != NoPrev && p != m.Assign[s] {
+			out = append(out, Move{Shard: s, From: int(p), To: int(m.Assign[s])})
+		}
+	}
+	return out
+}
+
+// ShardsOf lists the shards group index g owns (as assignee) under the map.
+func (m *Map) ShardsOf(g int) []int {
+	var out []int
+	for s, a := range m.Assign {
+		if int(a) == g {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Plan builds the canonical epoch-1 map for a fresh fleet: shards are
+// assigned to groups as contiguous prefix ranges, shard s to group
+// s·len(groups)/shards, so every group owns an equal (±1 shard) slice of
+// the ID space and the assignment is a pure function of the inputs — two
+// operators planning the same fleet produce byte-identical maps.
+func Plan(epoch uint64, shards int, groups []Group) (*Map, error) {
+	m := &Map{
+		Epoch:  epoch,
+		Shards: shards,
+		Groups: append([]Group(nil), groups...),
+		Assign: make([]int32, shards),
+		Prev:   make([]int32, shards),
+	}
+	for s := 0; s < shards; s++ {
+		m.Assign[s] = int32(s * len(groups) / shards)
+		m.Prev[s] = NoPrev
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PlanChange derives the next epoch from cur for a changed group list
+// (join, leave, or replacement): the deterministic Plan assignment over the
+// new groups, with every shard whose owner changed carrying its current
+// owner as Prev — the dual-ownership window the rebalance protocol closes
+// shard by shard. Groups present in both lists are matched by ID.
+func PlanChange(cur *Map, groups []Group) (*Map, error) {
+	next, err := Plan(cur.Epoch+1, cur.Shards, groups)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < cur.Shards; s++ {
+		oldID := cur.Groups[cur.Assign[s]].ID
+		if next.Groups[next.Assign[s]].ID == oldID {
+			continue
+		}
+		if from := next.GroupIndex(oldID); from >= 0 {
+			next.Prev[s] = int32(from)
+		}
+		// A vanished old owner leaves Prev at NoPrev: there is nobody left to
+		// pull from, the new owner starts from its replicas or empty.
+	}
+	return next, nil
+}
+
+// Complete returns the epoch after m with every dual-ownership window
+// closed: same groups, same assignment, no previous owners. Published once
+// all of m.Moves() have been handed off.
+func Complete(m *Map) *Map {
+	next := &Map{
+		Epoch:  m.Epoch + 1,
+		Shards: m.Shards,
+		Groups: append([]Group(nil), m.Groups...),
+		Assign: append([]int32(nil), m.Assign...),
+		Prev:   make([]int32, m.Shards),
+	}
+	for s := range next.Prev {
+		next.Prev[s] = NoPrev
+	}
+	return next
+}
+
+// Validate checks the structural invariants of a map.
+func (m *Map) Validate() error {
+	if m.Shards < 1 || m.Shards > MaxShards || m.Shards&(m.Shards-1) != 0 {
+		return fmt.Errorf("%w: shard count %d", ErrBadMap, m.Shards)
+	}
+	if len(m.Groups) < 1 || len(m.Groups) > MaxGroups {
+		return fmt.Errorf("%w: %d groups", ErrBadMap, len(m.Groups))
+	}
+	seen := make(map[string]bool, len(m.Groups))
+	for _, g := range m.Groups {
+		if g.ID == "" || seen[g.ID] {
+			return fmt.Errorf("%w: empty or duplicate group id %q", ErrBadMap, g.ID)
+		}
+		seen[g.ID] = true
+	}
+	if len(m.Assign) != m.Shards || len(m.Prev) != m.Shards {
+		return fmt.Errorf("%w: assignment length", ErrBadMap)
+	}
+	for s := 0; s < m.Shards; s++ {
+		if m.Assign[s] < 0 || int(m.Assign[s]) >= len(m.Groups) {
+			return fmt.Errorf("%w: shard %d assigned to group %d", ErrBadMap, s, m.Assign[s])
+		}
+		if p := m.Prev[s]; p != NoPrev && (p < 0 || int(p) >= len(m.Groups)) {
+			return fmt.Errorf("%w: shard %d prev group %d", ErrBadMap, s, p)
+		}
+	}
+	return nil
+}
+
+// placeSigPrefix domain-separates placement signatures from every other
+// signed byte string in the protocol (reports, onions, replication frames).
+var placeSigPrefix = []byte("hirep/place/v1\x00")
+
+// Encode serializes and signs a map under id: SP | body | signature, the
+// self-certifying frame shape of the replication protocol. The signer's
+// derived nodeID is returned by Decode, so a node configured with a
+// placement-authority ID adopts only that authority's maps.
+func Encode(id *pkc.Identity, m *Map) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	body := encodeBody(m)
+	msg := append(append([]byte(nil), placeSigPrefix...), body...)
+	var e wire.Encoder
+	e.Bytes(id.Sign.Public).Bytes(body).Bytes(id.SignMessage(msg))
+	return e.Encode(), nil
+}
+
+// Decode verifies and parses a signed map, returning the signer's derived
+// nodeID alongside it.
+func Decode(payload []byte) (*Map, pkc.NodeID, error) {
+	d := wire.NewDecoder(payload)
+	spRaw := d.Bytes()
+	body := d.Bytes()
+	sig := d.Bytes()
+	if d.Finish() != nil || len(spRaw) != ed25519.PublicKeySize {
+		return nil, pkc.NodeID{}, ErrBadMap
+	}
+	sp := ed25519.PublicKey(spRaw)
+	msg := append(append([]byte(nil), placeSigPrefix...), body...)
+	if !pkc.Verify(sp, msg, sig) {
+		return nil, pkc.NodeID{}, ErrBadSignature
+	}
+	m, err := decodeBody(body)
+	if err != nil {
+		return nil, pkc.NodeID{}, err
+	}
+	return m, pkc.DeriveNodeID(sp), nil
+}
+
+// encodeBody writes the signed part of a map: epoch, shard count, groups,
+// then per-shard assignment and previous owner (+1, so NoPrev encodes as 0).
+func encodeBody(m *Map) []byte {
+	var e wire.Encoder
+	e.U64(m.Epoch).U64(uint64(m.Shards)).U64(uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		e.String(g.ID).String(g.Descriptor)
+	}
+	for s := 0; s < m.Shards; s++ {
+		e.U64(uint64(m.Assign[s])).U64(uint64(m.Prev[s] + 1))
+	}
+	return e.Encode()
+}
+
+// decodeBody parses an encodeBody payload, bounding every count before
+// allocating and re-validating the result — a hostile map never installs.
+func decodeBody(body []byte) (*Map, error) {
+	d := wire.NewDecoder(body)
+	epoch := d.U64()
+	shards := d.U64()
+	ngroups := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if shards < 1 || shards > MaxShards || ngroups < 1 || ngroups > MaxGroups {
+		return nil, ErrBadMap
+	}
+	m := &Map{
+		Epoch:  epoch,
+		Shards: int(shards),
+		Groups: make([]Group, 0, ngroups),
+		Assign: make([]int32, shards),
+		Prev:   make([]int32, shards),
+	}
+	for i := uint64(0); i < ngroups; i++ {
+		m.Groups = append(m.Groups, Group{ID: d.String(), Descriptor: d.String()})
+	}
+	for s := uint64(0); s < shards; s++ {
+		a := d.U64()
+		p := d.U64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if a >= ngroups || p > ngroups {
+			return nil, ErrBadMap
+		}
+		m.Assign[s] = int32(a)
+		m.Prev[s] = int32(p) - 1
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

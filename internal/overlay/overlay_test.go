@@ -1,0 +1,227 @@
+package overlay
+
+import (
+	"bytes"
+	"testing"
+
+	"hirep/internal/pkc"
+	"hirep/internal/repstore"
+)
+
+func testGroups(ids ...string) []Group {
+	out := make([]Group, len(ids))
+	for i, id := range ids {
+		out[i] = Group{ID: id, Descriptor: "desc-" + id}
+	}
+	return out
+}
+
+func TestPlanBalancedAndDeterministic(t *testing.T) {
+	m1, err := Plan(1, 16, testGroups("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := Plan(1, 16, testGroups("a", "b", "c"))
+	for s := range m1.Assign {
+		if m1.Assign[s] != m2.Assign[s] {
+			t.Fatalf("plan not deterministic at shard %d", s)
+		}
+		if m1.Prev[s] != NoPrev {
+			t.Fatalf("fresh plan has prev owner at shard %d", s)
+		}
+	}
+	counts := make(map[int32]int)
+	last := int32(0)
+	for s, g := range m1.Assign {
+		counts[g]++
+		if g < last {
+			t.Fatalf("assignment not contiguous at shard %d", s)
+		}
+		last = g
+	}
+	for g, c := range counts {
+		if c < 16/3 || c > 16/3+1 {
+			t.Fatalf("group %d owns %d shards, want balanced", g, c)
+		}
+	}
+}
+
+func TestShardOfMatchesStoreRouting(t *testing.T) {
+	// The overlay's routing function must agree with repstore's internal
+	// shard routing at the same count: the subject must appear in exactly
+	// the store shard export that ShardOf names, because rebalance moves
+	// whole store shards between groups.
+	const shards = 8
+	st, err := repstore.Open("", repstore.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reporter, _ := pkc.NewIdentity(nil)
+	for i := 0; i < 32; i++ {
+		subj, _ := pkc.NewIdentity(nil)
+		if err := st.Append(repstore.Record{Reporter: reporter.ID, Subject: subj.ID, Positive: true}); err != nil {
+			t.Fatal(err)
+		}
+		want := ShardOf(subj.ID, shards)
+		found := -1
+		for s := 0; s < shards; s++ {
+			if bytes.Contains(st.ExportShard(s), subj.ID[:]) {
+				found = s
+				break
+			}
+		}
+		if found != want {
+			t.Fatalf("subject %v in store shard %d, ShardOf says %d", subj.ID.Short(), found, want)
+		}
+	}
+}
+
+func TestPlanChangeOpensDualWindows(t *testing.T) {
+	cur, err := Plan(1, 8, testGroups("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := PlanChange(cur, testGroups("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", next.Epoch)
+	}
+	moves := next.Moves()
+	if len(moves) == 0 {
+		t.Fatal("join produced no migrations")
+	}
+	for _, mv := range moves {
+		if next.Groups[mv.From].ID != "a" || next.Groups[mv.To].ID != "b" {
+			t.Fatalf("unexpected move %+v", mv)
+		}
+		var probe pkc.NodeID
+		for i := 0; i < 1<<16; i++ {
+			probe[0], probe[1] = byte(i), byte(i>>8)
+			if ShardOf(probe, next.Shards) == mv.Shard {
+				break
+			}
+		}
+		if !next.Owns(mv.From, probe) || !next.Owns(mv.To, probe) {
+			t.Fatalf("shard %d not dual-owned during migration", mv.Shard)
+		}
+		if next.ReadOwner(probe) != mv.From {
+			t.Fatalf("reads during migration should route to the old owner")
+		}
+	}
+	done := Complete(next)
+	if done.Epoch != 3 || len(done.Moves()) != 0 {
+		t.Fatalf("Complete left migrations open (epoch %d)", done.Epoch)
+	}
+	// Unmoved shards must not carry a window.
+	for s := range next.Prev {
+		if next.Prev[s] != NoPrev && next.Assign[s] == next.Prev[s] {
+			t.Fatalf("shard %d window points at its own owner", s)
+		}
+	}
+}
+
+func TestPlanChangeLeave(t *testing.T) {
+	cur, err := Plan(4, 8, testGroups("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := PlanChange(cur, testGroups("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range next.Moves() {
+		if next.Groups[mv.To].ID != "a" {
+			t.Fatalf("leave should move shards to the survivor, got %+v", mv)
+		}
+		if next.Groups[mv.From].ID != "b" {
+			// b vanished from the group list, so Prev cannot reference it.
+			t.Fatalf("move from unexpected group %+v", mv)
+		}
+	}
+	// A vanished owner cannot be referenced: every Prev index must be valid.
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	id, _ := pkc.NewIdentity(nil)
+	m, err := Plan(7, 16, testGroups("g1", "g2", "g3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Prev[3] = 1 // an open window survives the codec
+	payload, err := Encode(id, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, signer, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != id.ID {
+		t.Fatalf("signer = %v, want %v", signer, id.ID)
+	}
+	if got.Epoch != m.Epoch || got.Shards != m.Shards || len(got.Groups) != len(m.Groups) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range m.Groups {
+		if got.Groups[i] != m.Groups[i] {
+			t.Fatalf("group %d mismatch", i)
+		}
+	}
+	for s := range m.Assign {
+		if got.Assign[s] != m.Assign[s] || got.Prev[s] != m.Prev[s] {
+			t.Fatalf("shard %d mismatch", s)
+		}
+	}
+}
+
+func TestDecodeRejectsTamperedMap(t *testing.T) {
+	id, _ := pkc.NewIdentity(nil)
+	m, _ := Plan(1, 4, testGroups("a"))
+	payload, err := Encode(id, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, len(payload) / 2, len(payload) - 1} {
+		tampered := append([]byte(nil), payload...)
+		tampered[i] ^= 0x40
+		if _, _, err := Decode(tampered); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestValidateRejectsHostileMaps(t *testing.T) {
+	good, _ := Plan(1, 4, testGroups("a", "b"))
+	cases := map[string]func(*Map){
+		"non-power-of-two shards": func(m *Map) { m.Shards = 3 },
+		"oversized shards":        func(m *Map) { m.Shards = MaxShards * 2 },
+		"no groups":               func(m *Map) { m.Groups = nil },
+		"duplicate group":         func(m *Map) { m.Groups[1].ID = m.Groups[0].ID },
+		"empty group id":          func(m *Map) { m.Groups[0].ID = "" },
+		"assign out of range":     func(m *Map) { m.Assign[0] = 9 },
+		"prev out of range":       func(m *Map) { m.Prev[0] = 9 },
+		"short assign":            func(m *Map) { m.Assign = m.Assign[:1] },
+	}
+	for name, mutate := range cases {
+		m := &Map{
+			Epoch:  good.Epoch,
+			Shards: good.Shards,
+			Groups: append([]Group(nil), good.Groups...),
+			Assign: append([]int32(nil), good.Assign...),
+			Prev:   append([]int32(nil), good.Prev...),
+		}
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -165,6 +165,59 @@ func (s *Store) ImportShard(i int, data []byte) error {
 	return nil
 }
 
+// MergeShard folds a peer's ExportShard payload additively into shard i:
+// every exported tally is added on top of the local state instead of
+// replacing it. This is the shard-handoff primitive (DESIGN.md §12) — during
+// a migration's dual-ownership window the old and new owners accept disjoint
+// report sets (every report is acknowledged by exactly one group), so adding
+// the old owner's sealed export onto the new owner's fresh tallies yields
+// exactly the union. The caller must merge a given export exactly once; like
+// ImportShard this is an in-memory repair, so a WAL-backed store must
+// Snapshot() afterwards to make the merged state durable.
+func (s *Store) MergeShard(i int, data []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("repstore: merge shard %d of %d", i, len(s.shards))
+	}
+	if len(data) < 8 {
+		return fmt.Errorf("%w: short shard export", ErrCorruptRecord)
+	}
+	incoming, err := s.decodeShardBody(i, data[8:])
+	if err != nil {
+		return err
+	}
+	added := int64(0)
+	for _, st := range incoming {
+		added += int64(st.pos + st.neg)
+	}
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	for subject, in := range incoming {
+		st := sh.subjects[subject]
+		if st == nil {
+			sh.subjects[subject] = in
+			continue
+		}
+		st.pos += in.pos
+		st.neg += in.neg
+		for rep, rt := range in.reporters {
+			cur := st.reporters[rep]
+			cur.pos += rt.pos
+			cur.neg += rt.neg
+			st.reporters[rep] = cur
+		}
+	}
+	sh.version++
+	sh.digValid = false
+	sh.mu.Unlock()
+	s.reports.Add(added)
+	return nil
+}
+
 // decodeShardBody parses a canonical shard body, verifying every subject
 // routes to shard i.
 func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectState, error) {

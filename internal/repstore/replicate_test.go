@@ -446,3 +446,158 @@ func BenchmarkRepstoreIngestReplicated(b *testing.B) {
 		}
 	}
 }
+
+// TestMergeShardFoldsDisjointState checks the shard-handoff primitive: the
+// new owner's fresh reports plus the old owner's sealed export must merge to
+// exactly the union, per reporter, including subjects present on both sides.
+func TestMergeShardFoldsDisjointState(t *testing.T) {
+	old, err := Open("", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	niu, err := Open("", Options{Shards: 4}) // the new owner
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer niu.Close()
+
+	// Shared subject: reporter 1 told the old owner, reporter 2 told the new
+	// one (disjoint report sets, as dual ownership guarantees). Plus one
+	// subject only the old owner knows.
+	shared, lone := nid(100), nid(101)
+	for shardIndexOf(old, shared) != shardIndexOf(old, lone) {
+		lone = nid(int(lone[0]) + 256) // keep both in one shard for a single merge
+	}
+	shard := int(shardIndexOf(old, shared))
+	mustAppend := func(s *Store, rec Record) {
+		t.Helper()
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(old, Record{Reporter: nid(1), Subject: shared, Positive: true, Nonce: nnc(1)})
+	mustAppend(old, Record{Reporter: nid(1), Subject: shared, Positive: false, Nonce: nnc(2)})
+	mustAppend(old, Record{Reporter: nid(3), Subject: lone, Positive: true, Nonce: nnc(3)})
+	mustAppend(niu, Record{Reporter: nid(2), Subject: shared, Positive: true, Nonce: nnc(4)})
+
+	if err := niu.MergeShard(shard, old.ExportShard(shard)); err != nil {
+		t.Fatal(err)
+	}
+	if pos, neg, ok := niu.Tally(shared); !ok || pos != 2 || neg != 1 {
+		t.Fatalf("shared tally after merge = (%d,%d,%v), want (2,1,true)", pos, neg, ok)
+	}
+	if pos, neg, ok := niu.Tally(lone); !ok || pos != 1 || neg != 0 {
+		t.Fatalf("lone tally after merge = (%d,%d,%v), want (1,0,true)", pos, neg, ok)
+	}
+	if got, want := niu.ReportCount(), 4; got != want {
+		t.Fatalf("ReportCount after merge = %d, want %d", got, want)
+	}
+	if got, want := niu.DistinctReporters(shared), 2; got != want {
+		t.Fatalf("DistinctReporters(shared) = %d, want %d", got, want)
+	}
+}
+
+// TestMergeShardRejectsMisrouted mirrors the ImportShard guard: an export
+// whose subjects do not route to the named shard must not touch state.
+func TestMergeShardRejectsMisrouted(t *testing.T) {
+	src, err := Open("", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open("", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	subj := nid(7)
+	if err := src.Append(Record{Reporter: nid(1), Subject: subj, Positive: true, Nonce: nnc(1)}); err != nil {
+		t.Fatal(err)
+	}
+	right := int(shardIndexOf(src, subj))
+	wrong := (right + 1) % 4
+	if err := dst.MergeShard(wrong, src.ExportShard(right)); err == nil {
+		t.Fatal("misrouted merge accepted")
+	}
+	if dst.ReportCount() != 0 {
+		t.Fatal("misrouted merge mutated state")
+	}
+	if err := dst.MergeShard(-1, src.ExportShard(right)); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := dst.MergeShard(right, []byte{1, 2}); err == nil {
+		t.Fatal("truncated export accepted")
+	}
+}
+
+// shardIndexOf exposes the routing function to tests in this package.
+func shardIndexOf(s *Store, subject pkc.NodeID) uint64 { return s.shardIndex(subject) }
+
+// TestDigestsExportUnderConcurrentAppend hammers the replication read
+// surface — Digests, ExportShard, and MergeShard's decode path — while
+// writers mutate the store, under the race detector. Rebalance calls exactly
+// these on a live primary, so they must be safe against concurrent Append
+// (and the digest CRC cache must not serve torn values).
+func TestDigestsExportUnderConcurrentAppend(t *testing.T) {
+	s, err := Open("", Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sink, err := Open("", Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := int(seq.Add(1))
+				if err := s.Append(benchRecord(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 200; round++ {
+		digs := s.Digests()
+		if len(digs) != 8 {
+			t.Fatalf("round %d: %d digests", round, len(digs))
+		}
+		shard := round % 8
+		export := s.ExportShard(shard)
+		if len(export) < 8 {
+			t.Fatalf("round %d: short export", round)
+		}
+		// A concurrently-captured export must still parse and merge cleanly.
+		if err := sink.ImportShard(shard, export); err != nil {
+			t.Fatalf("round %d: import live export: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Quiesced, the surfaces must agree with themselves: an export taken now
+	// re-imports to an identical digest.
+	for i := 0; i < 8; i++ {
+		if err := sink.ImportShard(i, s.ExportShard(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if miss := digestsMismatch(s.Digests(), sink.Digests()); miss != nil {
+		t.Fatalf("digests differ at %v after quiesced import", miss)
+	}
+}

@@ -83,11 +83,28 @@ const (
 	// the sender instead of vanishing.
 	TReportBatch
 	TReportBatchAck
+	// TPlacementReq / TPlacement exchange the overlay's signed placement map
+	// (DESIGN.md §12): the request carries the asker's current epoch, the
+	// response the full signed map. TPlacement also travels unsolicited —
+	// an operator (or rebalance driver) pushes a new epoch to each node,
+	// which adopts it if it is newer and acceptably signed. Placement is
+	// infrastructure metadata, like the replication frames: it names groups
+	// and descriptors, never who reports on whom, so it travels as a direct
+	// frame rather than through onions.
+	TPlacementReq
+	TPlacement
+	// RHandoff / RHandoffResp drive a shard migration between agent groups
+	// (the rebalance protocol, DESIGN.md §12): the new owner first seals the
+	// shard at the old primary — which then rejects further writes for it
+	// with a wrong-owner hint — and then pulls the sealed shard's export.
+	// Signed and allowlisted exactly like the intra-group replication frames.
+	RHandoff
+	RHandoffResp
 )
 
 // NumMsgTypes is one past the highest assigned MsgType, for per-type
 // counter arrays.
-const NumMsgTypes = int(TReportBatchAck) + 1
+const NumMsgTypes = int(RHandoffResp) + 1
 
 func (t MsgType) String() string {
 	switch t {
@@ -145,6 +162,14 @@ func (t MsgType) String() string {
 		return "report-batch"
 	case TReportBatchAck:
 		return "report-batch-ack"
+	case TPlacementReq:
+		return "placement-req"
+	case TPlacement:
+		return "placement"
+	case RHandoff:
+		return "shard-handoff"
+	case RHandoffResp:
+		return "shard-handoff-resp"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}

@@ -120,6 +120,32 @@ if s and b:
     print(f"batched ingest speedup over single-report: {s * 256 / b:.1f}x (target >= 5x)")
 EOF
 
+# Sharded-overlay scaling (DESIGN.md §12): two agent groups must sustain
+# >= 1.7x the aggregate verified-durable reports/sec of one group. The
+# groups=2 op moves two 256-report batches per round against groups=1's one,
+# so the aggregate-throughput ratio is 2 * ns(groups=1) / ns(groups=2). The
+# hard gate needs hardware that can actually scale: on a single-core host
+# both signature verification and the store's flush commands serialize on
+# the one core / one disk-queue, capping any honest measurement well below
+# 2x, so there the ratio is printed and recorded but not enforced.
+BENCH_OUT="$out" python3 - <<'EOF'
+import os, re, sys
+out = os.environ["BENCH_OUT"]
+ns = {m.group(1): float(m.group(2))
+      for m in re.finditer(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", out, re.M)}
+g1 = ns.get("BenchmarkIngestSharded/groups=1")
+g2 = ns.get("BenchmarkIngestSharded/groups=2")
+if g1 and g2:
+    r = 2 * g1 / g2
+    cores = os.cpu_count() or 1
+    print(f"sharded ingest scaling, 2 groups vs 1: {r:.2f}x aggregate reports/sec (target >= 1.7x)")
+    if cores >= 2 and r < 1.7:
+        print(f"verify: FAIL — sharded ingest scaled {r:.2f}x on {cores} cores, need >= 1.7x")
+        sys.exit(1)
+    if cores < 2:
+        print("note: single-core host — 1.7x gate not enforced (needs >= 2 cores to measure scaling)")
+EOF
+
 echo "== appending run to BENCH_node.json"
 record_bench "$out" BENCH_node.json
 
