@@ -128,7 +128,7 @@ func main() {
 		group        = flag.String("group", "", "agent group this node belongs to in the routed overlay (agents only)")
 		storeShards  = flag.Int("store-shards", 0, "report store shard count, power of two (0 = default 16)")
 		placeSources = flag.String("placement-sources", "", "comma-separated node addresses polled for a newer signed placement map")
-		placeAuth    = flag.String("placement-authority", "", "hex node ID every placement map must be signed by (empty = accept any validly signed newer map)")
+		placeAuth    = flag.String("placement-authority", "", "hex node ID every placement map must be signed by (empty = accept any validly signed newer map on fetch; refuse unsolicited pushes)")
 		handoffPeers = flag.String("handoff-peers", "", "comma-separated hex node IDs allowed to drive shard handoffs against this agent")
 	)
 	flag.Parse()

@@ -12,6 +12,7 @@ import (
 	"hirep/internal/agentdir"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/repstore"
 	"hirep/internal/resilience"
 	"hirep/internal/wire"
 )
@@ -578,6 +579,12 @@ func statusFromSubmitError(err error) ReportStatus {
 	switch {
 	case err == nil:
 		return StatusStored
+	case errors.Is(err, repstore.ErrShardSealed):
+		// The shard was sealed for handoff after this batch passed the
+		// admission-time ownership check: the report is NOT in the sealed
+		// export, so it must not ack stored. Wrong-owner sends it through the
+		// outbox, which re-routes it to the new owner by the refreshed map.
+		return StatusWrongOwner
 	case errors.Is(err, agentdir.ErrReplayedReport):
 		return StatusReplay
 	case errors.Is(err, agentdir.ErrUnknownReporter),

@@ -145,7 +145,11 @@ type Options struct {
 	PlacementSources []string
 	// PlacementAuthority pins the identity every placement map must be
 	// signed by. The zero value accepts any validly signed map with a newer
-	// epoch (test fleets); production fleets set it.
+	// epoch from the solicited paths — SetPlacement and fetches from
+	// PlacementSources — but refuses unsolicited TPlacement pushes
+	// entirely: without a pinned authority, any connected peer could push
+	// a map at the maximum epoch and permanently capture the routing.
+	// Production fleets set it.
 	PlacementAuthority pkc.NodeID
 	// HandoffPeers lists identities allowed to drive shard handoffs against
 	// this agent — seal shards and pull their exports during a rebalance.

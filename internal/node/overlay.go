@@ -8,6 +8,7 @@ import (
 	"hirep/internal/onion"
 	"hirep/internal/overlay"
 	"hirep/internal/pkc"
+	"hirep/internal/repstore"
 	"hirep/internal/transport"
 	"hirep/internal/trust"
 	"hirep/internal/wire"
@@ -93,7 +94,9 @@ func newPlacement(opts Options) *placement {
 // current one — re-installing the same epoch is an idempotent no-op, an older
 // epoch is rejected so a replayed map cannot roll the routing back into a
 // closed migration window. Adopting a new epoch drops the previous epoch's
-// shard seals: a seal pins one epoch's dual-ownership window, not the shard.
+// shard seals — both the admission-level ones here and the store-level ones
+// backing them — because a seal pins one epoch's dual-ownership window, not
+// the shard.
 func (n *Node) SetPlacement(signed []byte) error {
 	m, signer, err := overlay.Decode(signed)
 	if err != nil {
@@ -103,8 +106,8 @@ func (n *Node) SetPlacement(signed []byte) error {
 	}
 	p := n.place
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.authority != (pkc.NodeID{}) && signer != p.authority {
+		p.mu.Unlock()
 		n.stats.placementRejected.Add(1)
 		n.cnt.placementRejected.Inc()
 		return fmt.Errorf("node: placement signed by %s, not the configured authority", signer.Short())
@@ -112,18 +115,26 @@ func (n *Node) SetPlacement(signed []byte) error {
 	if p.m != nil {
 		if m.Epoch == p.m.Epoch {
 			p.stale = false
+			p.mu.Unlock()
 			return nil
 		}
 		if m.Epoch < p.m.Epoch {
+			old := p.m.Epoch
+			p.mu.Unlock()
 			n.stats.placementRejected.Add(1)
 			n.cnt.placementRejected.Inc()
-			return fmt.Errorf("node: placement epoch %d older than adopted %d", m.Epoch, p.m.Epoch)
+			return fmt.Errorf("node: placement epoch %d older than adopted %d", m.Epoch, old)
 		}
 	}
 	p.m = m
 	p.raw = append([]byte(nil), signed...)
 	p.sealed = make(map[int]bool)
 	p.stale = false
+	p.mu.Unlock()
+	if n.agent != nil {
+		// Outside p.mu: UnsealAll drains the store's in-flight mutations.
+		n.agent.Store().UnsealAll()
+	}
 	n.stats.placementAdopted.Add(1)
 	n.cnt.placementAdopted.Inc()
 	return nil
@@ -244,10 +255,26 @@ func (n *Node) handlePlacementReq(r transport.Responder, payload []byte) {
 }
 
 // handlePlacementPush adopts an unsolicited TPlacement frame (an operator or
-// rebalance driver installing a new epoch). SetPlacement does all the
-// vetting; a push that fails it changes nothing.
+// rebalance driver installing a new epoch). Pushes are honored only when the
+// node has a placement authority pinned: without one, SetPlacement accepts
+// any validly self-signed map, so an open push surface would let any
+// connected stranger install an arbitrary routing map — and the strictly-
+// increasing epoch rule would then lock the legitimate operator out. An
+// authority-less node still routes: it adopts maps via local SetPlacement
+// calls and solicited FetchPlacement from its operator-chosen sources.
+// Beyond the gate, SetPlacement does all the vetting; a push that fails it
+// changes nothing.
 func (n *Node) handlePlacementPush(payload []byte) {
 	if len(payload) == 0 {
+		return
+	}
+	p := n.place
+	p.mu.Lock()
+	unpinned := p.authority == (pkc.NodeID{})
+	p.mu.Unlock()
+	if unpinned {
+		n.stats.placementRejected.Add(1)
+		n.cnt.placementRejected.Inc()
 		return
 	}
 	_ = n.SetPlacement(payload)
@@ -465,6 +492,16 @@ func (n *Node) handleHandoff(r transport.Responder, payload []byte) {
 		}
 		p.sealed[int(shard)] = true
 		p.mu.Unlock()
+		// The admission flag above turns new batches away with wrong-owner,
+		// but batches that passed admission before it may still be verifying
+		// and appending. The store-level seal closes that race: it drains
+		// every in-flight append (they fail with ErrShardSealed past this
+		// point and ack retryable, never stored), so once OK is answered the
+		// subsequent export contains every report ever acked stored.
+		if err := st.SealShard(int(shard)); err != nil {
+			refuse()
+			return
+		}
 		n.stats.shardsSealed.Add(1)
 		n.cnt.handoffSealed.Inc()
 		_ = r.Respond(wire.RHandoffResp, (&wire.Encoder{}).U64(handoffOK).Bytes(nil).Encode())
@@ -518,10 +555,12 @@ func (n *Node) handoffRequest(addr string, op, epoch, shard uint64) ([]byte, err
 // its seal is inside the export; after the seal, a stale sender gets a
 // wrong-owner ack, refreshes its map, and re-sends here — and the sets are
 // disjoint, because each report is acked by exactly one side, so the additive
-// merge is exactly the union. Shards already migrated (or a crashed pull
-// re-run) are safe to re-pull only before their merge; the caller drives each
-// shard through this function exactly once per epoch. Returns the number of
-// shards fully migrated; a mid-way error reports how far it got.
+// merge is exactly the union. Re-running a pull is safe: the store records
+// each (epoch, shard) merge and refuses a duplicate (repstore.ErrAlreadyMerged),
+// which this function treats as that shard already being migrated — so a
+// crashed or partially failed driver can simply re-drive the same shard list.
+// Returns the number of shards migrated (including ones found already
+// merged); a mid-way error reports how far it got.
 func (n *Node) RebalancePull(oldAddr string, shards []int) (int, error) {
 	if n.agent == nil {
 		return 0, ErrNotAgent
@@ -546,7 +585,14 @@ func (n *Node) RebalancePull(oldAddr string, shards []int) (int, error) {
 		if err != nil {
 			return done, fmt.Errorf("node: export shard %d: %w", s, err)
 		}
-		if err := st.MergeShard(s, export); err != nil {
+		switch err := st.MergeShard(s, m.Epoch, export); {
+		case errors.Is(err, repstore.ErrAlreadyMerged):
+			// A re-driven pull: this shard's export was merged by an earlier
+			// run. Counting it done (but not as a fresh pull) keeps the retry
+			// loop converging without double-counting a single tally.
+			done++
+			continue
+		case err != nil:
 			return done, fmt.Errorf("node: merge shard %d: %w", s, err)
 		}
 		done++

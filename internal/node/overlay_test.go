@@ -149,7 +149,9 @@ func TestPlacementAdoptAndReject(t *testing.T) {
 
 // TestPlacementFetchAndPush covers the wire exchange: FetchPlacement adopts a
 // newer map from a peer, reports ErrNoPlacement when the peer has nothing
-// newer, and an unsolicited TPlacement push installs a newer epoch.
+// newer, an unsolicited TPlacement push installs a newer epoch on a node with
+// a pinned placement authority — and is refused outright on a node without
+// one, where any valid keypair could otherwise capture the routing.
 func TestPlacementFetchAndPush(t *testing.T) {
 	nodes := fleet(t, 2, 0)
 	src, sink := nodes[0], nodes[1]
@@ -172,15 +174,31 @@ func TestPlacementFetchAndPush(t *testing.T) {
 		t.Fatalf("fetch with equal epochs: %v, want ErrNoPlacement", err)
 	}
 
-	// Push a newer epoch at the source over the wire and watch it adopt.
+	// Push a newer epoch at an authority-pinned node and watch it adopt.
+	pinned, err := Listen("127.0.0.1:0", Options{Timeout: 4 * time.Second, PlacementAuthority: auth.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pinned.Close() })
 	signed2 := signedPlacement(t, auth, flatMap(2, 8, groups, 0))
-	if err := sink.send(src.Addr(), wire.TPlacement, signed2); err != nil {
+	if err := sink.send(pinned.Addr(), wire.TPlacement, signed2); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool {
-		m, _ := src.Placement()
+		m, _ := pinned.Placement()
 		return m != nil && m.Epoch == 2
 	})
+
+	// src has no authority configured: an unsolicited push — even one signed
+	// by the same key it already adopted maps from locally — is refused, and
+	// its routing stays at the operator-installed epoch.
+	if err := sink.send(src.Addr(), wire.TPlacement, signed2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return src.Stats().PlacementRejected >= 1 })
+	if m, _ := src.Placement(); m == nil || m.Epoch != 1 {
+		t.Fatalf("authority-less node adopted a pushed map (epoch %v)", m)
+	}
 }
 
 // TestRoutedTrustWrongOwnerRedirect drives the stale-router path end to end:

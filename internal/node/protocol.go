@@ -266,15 +266,21 @@ func (n *Node) handleTrustReq(sealed []byte) {
 			value = 0.5 // no reports: uninformed prior, flagged to the requestor
 		}
 	}
-	// Response: subject, value, hasData, nonce, wrong-owner flag, SP_e,
-	// signature — sealed to the requestor's anonymity key and routed through
-	// its onion.
+	// Response: subject, value, hasData, nonce, then — only when set — the
+	// wrong-owner flag, SP_e, signature; sealed to the requestor's anonymity
+	// key and routed through its onion. The flag is trailing-optional for
+	// version compatibility: a pre-overlay responder never emits it and a
+	// pre-overlay requestor never receives it (ordinary answers keep the
+	// original shape), so mixed-version fleets only diverge on an actual
+	// wrong-owner redirect, which old requestors could not act on anyway.
 	var body wire.Encoder
 	body.Bytes(subject[:])
 	body.U64(math.Float64bits(float64(value)))
 	body.Bool(hasData)
 	body.Bytes(nonceRaw)
-	body.Bool(wrongOwner)
+	if wrongOwner {
+		body.Bool(true)
+	}
 	signedPart := body.Encode()
 	sig := self.SignMessage(signedPart)
 	var e wire.Encoder
@@ -313,7 +319,12 @@ func (n *Node) handleTrustResp(sealed []byte) {
 	bits := b.U64()
 	hasData := b.Bool()
 	nonceRaw := b.Bytes()
-	wrongOwner := b.Bool()
+	// Trailing-optional (see handleTrustReq): absent on ordinary answers and
+	// on responses from pre-overlay agents, present only on a redirect.
+	wrongOwner := false
+	if b.More() {
+		wrongOwner = b.Bool()
+	}
 	if b.Finish() != nil || len(subjRaw) != pkc.NodeIDSize || len(nonceRaw) != pkc.NonceSize {
 		return
 	}

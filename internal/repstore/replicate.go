@@ -122,6 +122,47 @@ func encodeShardLocked(sh *shard) []byte {
 	return body
 }
 
+// SealShard marks shard i sealed for a handoff: every subsequent Append (or
+// Merge) touching it fails with ErrShardSealed until UnsealAll. Acquiring
+// applyMu exclusively makes the seal a hard cut, not a hint: any mutation
+// already past its own seal check holds applyMu for read across commit and
+// apply, so SealShard blocks until it is fully applied — after SealShard
+// returns, ExportShard is guaranteed to contain every report the store ever
+// acknowledged for that shard, with no in-flight append able to land behind
+// the export.
+func (s *Store) SealShard(i int) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("repstore: seal shard %d of %d", i, len(s.shards))
+	}
+	s.applyMu.Lock()
+	s.shards[i].sealed = true
+	s.applyMu.Unlock()
+	return nil
+}
+
+// UnsealAll lifts every shard seal — called when a new placement epoch is
+// adopted, closing the migration windows the seals belonged to.
+func (s *Store) UnsealAll() {
+	s.applyMu.Lock()
+	for i := range s.shards {
+		s.shards[i].sealed = false
+	}
+	s.applyMu.Unlock()
+}
+
+// ShardSealed reports whether shard i is currently sealed.
+func (s *Store) ShardSealed(i int) bool {
+	if i < 0 || i >= len(s.shards) {
+		return false
+	}
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	return s.shards[i].sealed
+}
+
 // ImportShard replaces shard i's contents with a peer's ExportShard payload,
 // adopting the exported version. Every subject in the payload must actually
 // belong to shard i under this store's shard count — a mismatched or hostile
@@ -171,10 +212,14 @@ func (s *Store) ImportShard(i int, data []byte) error {
 // a migration's dual-ownership window the old and new owners accept disjoint
 // report sets (every report is acknowledged by exactly one group), so adding
 // the old owner's sealed export onto the new owner's fresh tallies yields
-// exactly the union. The caller must merge a given export exactly once; like
+// exactly the union. epoch names the placement epoch the handoff runs under:
+// the store records each completed (epoch, shard) merge and refuses a second
+// one with ErrAlreadyMerged, so a re-driven pull (a crashed driver re-run, an
+// operator retry after a partial failure) cannot double-count the shard. Like
 // ImportShard this is an in-memory repair, so a WAL-backed store must
-// Snapshot() afterwards to make the merged state durable.
-func (s *Store) MergeShard(i int, data []byte) error {
+// Snapshot() afterwards to make the merged state — and its merge marker —
+// durable together.
+func (s *Store) MergeShard(i int, epoch uint64, data []byte) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -194,6 +239,16 @@ func (s *Store) MergeShard(i int, data []byte) error {
 	}
 	s.applyMu.RLock()
 	defer s.applyMu.RUnlock()
+	// Mark before applying (nothing after the decode can fail), under its own
+	// lock so two concurrent merges of the same export cannot both pass.
+	mark := mergeMark{epoch: epoch, shard: uint32(i)}
+	s.mergedMu.Lock()
+	if s.merged[mark] {
+		s.mergedMu.Unlock()
+		return fmt.Errorf("%w: shard %d, epoch %d", ErrAlreadyMerged, i, epoch)
+	}
+	s.merged[mark] = true
+	s.mergedMu.Unlock()
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	for subject, in := range incoming {

@@ -19,6 +19,16 @@ import (
 //	subject[20] | u64 pos | u64 neg | u32 reporter count |
 //	  (reporter[20] | u32 pos | u32 neg)*
 //
+// then (HRSNAP03 and later) the handoff merge markers:
+//
+//	u32 marker count | (u64 placement epoch | u32 shard)*
+//
+// The markers travel with the tallies because they guard the tallies: a
+// marker without its merged data (or vice versa) would either lose a shard to
+// a refused re-pull or double-count it on a re-run, so both become durable in
+// the same atomic rename. HRSNAP02 snapshots (no marker section) still load,
+// with no markers.
+//
 // epoch is the snapshot's WAL replay floor: the snapshot contains every
 // record from WAL epochs below it, so recovery replays only epoch files at
 // or above the floor. The CRC covers the floor too — a flipped epoch bit
@@ -30,8 +40,10 @@ import (
 // disk corruption, which is a hard error (unlike a torn WAL tail, which is
 // the expected crash artifact).
 const (
-	snapName  = "snapshot"
-	snapMagic = "HRSNAP02"
+	snapName     = "snapshot"
+	snapMagic    = "HRSNAP03"
+	snapMagicV2  = "HRSNAP02" // pre-marker format, still loadable
+	snapMagicLen = 8
 )
 
 // writeSnapshot persists the current in-memory state with epoch as the WAL
@@ -107,6 +119,13 @@ func (s *Store) encodeState() []byte {
 			}
 		}
 	}
+	s.mergedMu.Lock()
+	body = put32(body, uint32(len(s.merged)))
+	for mark := range s.merged {
+		body = put64(body, mark.epoch)
+		body = put32(body, mark.shard)
+	}
+	s.mergedMu.Unlock()
 	return body
 }
 
@@ -121,10 +140,14 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("repstore: read snapshot: %w", err)
 	}
-	if len(buf) < len(snapMagic)+16 || string(buf[:len(snapMagic)]) != snapMagic {
+	if len(buf) < snapMagicLen+16 {
 		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 	}
-	hdr := buf[len(snapMagic):]
+	magic := string(buf[:snapMagicLen])
+	if magic != snapMagic && magic != snapMagicV2 {
+		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	}
+	hdr := buf[snapMagicLen:]
 	epoch := binary.LittleEndian.Uint64(hdr[0:8])
 	n := binary.LittleEndian.Uint32(hdr[8:12])
 	crc := binary.LittleEndian.Uint32(hdr[12:16])
@@ -137,7 +160,7 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	if want != crc {
 		return 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
 	}
-	if err := s.decodeState(body); err != nil {
+	if err := s.decodeState(body, magic != snapMagicV2); err != nil {
 		return 0, err
 	}
 	return epoch, nil
@@ -145,8 +168,9 @@ func (s *Store) loadSnapshot() (uint64, error) {
 
 // decodeState parses a snapshot body into the shards. The body passed its
 // CRC, so structural violations still mean corruption (or a version skew)
-// and error out rather than guessing.
-func (s *Store) decodeState(body []byte) error {
+// and error out rather than guessing. withMarkers selects whether a handoff
+// merge-marker section follows the subjects (HRSNAP03+).
+func (s *Store) decodeState(body []byte, withMarkers bool) error {
 	d := snapReader{buf: body}
 	count := d.u32()
 	total := int64(0)
@@ -175,6 +199,16 @@ func (s *Store) decodeState(body []byte) error {
 		}
 		s.shardFor(subject).subjects[subject] = st
 		total += int64(pos + neg)
+	}
+	if withMarkers {
+		nmark := d.u32()
+		for i := uint32(0); i < nmark; i++ {
+			mark := mergeMark{epoch: d.u64(), shard: d.u32()}
+			if d.err != nil {
+				return d.err
+			}
+			s.merged[mark] = true
+		}
 	}
 	if d.err != nil {
 		return d.err

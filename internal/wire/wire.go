@@ -87,7 +87,9 @@ const (
 	// (DESIGN.md §12): the request carries the asker's current epoch, the
 	// response the full signed map. TPlacement also travels unsolicited —
 	// an operator (or rebalance driver) pushes a new epoch to each node,
-	// which adopts it if it is newer and acceptably signed. Placement is
+	// which adopts it if it is newer and signed by the node's pinned
+	// placement authority; a node with no authority configured refuses
+	// pushes outright (any valid keypair could sign one). Placement is
 	// infrastructure metadata, like the replication frames: it names groups
 	// and descriptors, never who reports on whom, so it travels as a direct
 	// frame rather than through onions.
@@ -315,6 +317,12 @@ func (d *Decoder) Bool() bool {
 	d.buf = d.buf[1:]
 	return v
 }
+
+// More reports whether unread bytes remain and no decode error has occurred.
+// It is how decoders read trailing-optional fields: a field appended to a
+// message in a later protocol revision is decoded only when present, so both
+// directions of a mixed-version exchange still parse.
+func (d *Decoder) More() bool { return d.err == nil && len(d.buf) > 0 }
 
 // Err returns the first decode error, or ErrTrailingData if bytes remain
 // after Finish was called.
