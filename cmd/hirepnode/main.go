@@ -63,6 +63,14 @@
 //	hirepnode -listen 127.0.0.1:7007 \
 //	          -placement-sources 127.0.0.1:7001,127.0.0.1:7002
 //
+// Gate report admission (DESIGN.md §13) — an agent demands a one-time
+// proof-of-work bound to each new reporter identity before storing its first
+// report, and optional rate accounting revokes admission from identities
+// that flood (they must re-solve). Senders solve and retry automatically:
+//
+//	hirepnode -listen 127.0.0.1:7001 -agent \
+//	          -admission-pow 18 -admission-rate 2.0 -admission-burst 512
+//
 // Run the full zero-config demonstration on loopback — an agent, a reporter,
 // a requestor, and a relay chain exchanging onion-routed trust traffic:
 //
@@ -130,6 +138,12 @@ func main() {
 		placeSources = flag.String("placement-sources", "", "comma-separated node addresses polled for a newer signed placement map")
 		placeAuth    = flag.String("placement-authority", "", "hex node ID every placement map must be signed by (empty = accept any validly signed newer map on fetch; refuse unsolicited pushes)")
 		handoffPeers = flag.String("handoff-peers", "", "comma-separated hex node IDs allowed to drive shard handoffs against this agent")
+
+		// Admission gate (agents only): per-identity first-report proof-of-work
+		// plus report-rate accounting, pricing sybil floods (DESIGN.md §13).
+		admissionPoW   = flag.Int("admission-pow", 0, "leading-zero bits demanded from an identity's first report (0 = gate off, max 30)")
+		admissionRate  = flag.Float64("admission-rate", 0, "per-identity admitted-report refill rate per second (0 = no rate accounting)")
+		admissionBurst = flag.Int("admission-burst", 0, "per-identity report burst before rate accounting revokes admission (0 = default 2x batch size)")
 	)
 	flag.Parse()
 
@@ -220,6 +234,9 @@ func main() {
 		MaxStreams:          *maxStreams,
 		IdleTimeout:         *idleTimeout,
 		MaxSessions:         *maxSessions,
+		AdmissionPoWBits:    *admissionPoW,
+		AdmissionRate:       *admissionRate,
+		AdmissionBurst:      *admissionBurst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

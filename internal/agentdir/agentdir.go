@@ -99,6 +99,13 @@ type Agent struct {
 	// standby answers with the dead primary's history (DESIGN.md §10).
 	srcMu   sync.RWMutex
 	sources map[string]*repstore.Store
+
+	// byReporter counts accepted reports per reporter — the evidence base for
+	// the node's per-identity admission rate accounting and the campaign
+	// harness's attacker-cost scoring (DESIGN.md §13). Its own lock: the hot
+	// ingest path must not serialize on the key-list mutex.
+	repMu      sync.Mutex
+	byReporter map[pkc.NodeID]int64
 }
 
 // New creates an agent with identity self backed by a pure in-memory store.
@@ -117,10 +124,11 @@ func NewWithStore(self *pkc.Identity, replayCap int, store *repstore.Store) *Age
 		replayCap = 4096
 	}
 	a := &Agent{
-		self:    self,
-		keys:    make(map[pkc.NodeID]ed25519.PublicKey),
-		store:   store,
-		replays: pkc.NewReplayCache(replayCap),
+		self:       self,
+		keys:       make(map[pkc.NodeID]ed25519.PublicKey),
+		store:      store,
+		replays:    pkc.NewReplayCache(replayCap),
+		byReporter: make(map[pkc.NodeID]int64),
 	}
 	for _, n := range store.RecoveredNonces() {
 		a.replays.Observe(n)
@@ -199,7 +207,23 @@ func (a *Agent) SubmitReport(reporter pkc.NodeID, wire []byte) (Report, error) {
 		a.replays.Forget(nonce)
 		return Report{}, err
 	}
+	a.countAccepted(reporter, 1)
 	return Report{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}, nil
+}
+
+// countAccepted bumps the reporter's accepted-report tally.
+func (a *Agent) countAccepted(reporter pkc.NodeID, n int64) {
+	a.repMu.Lock()
+	a.byReporter[reporter] += n
+	a.repMu.Unlock()
+}
+
+// ReportsBy returns how many reports from reporter this agent has accepted
+// (verified, fresh, and durably stored) since it started.
+func (a *Agent) ReportsBy(reporter pkc.NodeID) int64 {
+	a.repMu.Lock()
+	defer a.repMu.Unlock()
+	return a.byReporter[reporter]
 }
 
 // SubmitReportBatch verifies and stores a batch of signed reports, all from
@@ -252,6 +276,7 @@ func (a *Agent) SubmitReportBatch(reporter pkc.NodeID, wires [][]byte) ([]Report
 	ok := pkc.VerifyBatch(keys, bodies, sigs)
 	// Admission pass, in batch order: replay check, then store append. Both
 	// run outside the key lock, like the single-report path.
+	var accepted int64
 	for j, p := range valid {
 		if !ok[j] {
 			errs[p.idx] = ErrBadSignature
@@ -270,6 +295,10 @@ func (a *Agent) SubmitReportBatch(reporter pkc.NodeID, wires [][]byte) ([]Report
 			continue
 		}
 		reports[p.idx] = Report{Reporter: reporter, Subject: p.subject, Positive: p.positive, Nonce: p.nonce}
+		accepted++
+	}
+	if accepted > 0 {
+		a.countAccepted(reporter, accepted)
 	}
 	return reports, errs
 }

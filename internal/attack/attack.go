@@ -22,24 +22,101 @@ import (
 	"hirep/internal/pkc"
 )
 
-// Scenario is one protocol-level attack configuration.
+// Kind classifies the coordinated-campaign behavior a scenario drives. The
+// campaign driver (internal/campaign) dispatches its attacker population on
+// it; pure config-mutation scenarios leave it empty.
+type Kind string
+
+const (
+	// KindSybilFlood mints IdentitiesPer fresh identities per attacker and
+	// floods positive self-promotion reports from each (§4.2.2).
+	KindSybilFlood Kind = "sybil-flood"
+	// KindCollusionRing has the attackers cross-report each other as highly
+	// trustworthy, inflating the ring's standing (§4.2.3).
+	KindCollusionRing Kind = "collusion-ring"
+	// KindSlanderCell concentrates negative reports on a few honest victims
+	// to push them below the trust threshold (§4.2.3).
+	KindSlanderCell Kind = "slander-cell"
+)
+
+// FaultPlan is the infrastructure half of a composite campaign: faults run
+// alongside the behavior attack, orthogonal to it.
+type FaultPlan struct {
+	// KillHonestFrac kills this fraction of honest agents midway through the
+	// run (§4.2.4 DoS).
+	KillHonestFrac float64
+}
+
+// Population sizes a coordinated attacker campaign.
+type Population struct {
+	Attackers     int // coordinating attacker principals
+	IdentitiesPer int // sybil identities each attacker mints (1 = no sybils)
+	Victims       int // honest peers a slander cell concentrates on
+}
+
+// Scenario is one protocol-level attack configuration. Its three dimensions
+// are orthogonal and compose: a config mutation (how the simulated population
+// behaves), a fault plan (what infrastructure breaks mid-run), and a
+// campaign population (what a coordinated attacker fleet does). Any subset
+// may be set.
 type Scenario struct {
 	// Name identifies the scenario in tables.
 	Name string
-	// Mutate adjusts the hiREP configuration to enable the attack.
+	// Kind selects the campaign behavior, empty for config-only scenarios.
+	Kind Kind
+	// Mutate adjusts the hiREP configuration to enable the attack; nil means
+	// no config change (run through Apply, never called directly).
 	Mutate func(*core.Config)
-	// DoSFrac, when positive, kills this fraction of honest agents midway
-	// through the run (§4.2.4).
-	DoSFrac float64
+	// Faults is the infrastructure-fault half of a composite campaign.
+	Faults FaultPlan
+	// Population sizes the coordinated attacker fleet, zero for
+	// config-only scenarios.
+	Population Population
+}
+
+// Apply runs the scenario's config mutation, tolerating a nil Mutate.
+func (s Scenario) Apply(c *core.Config) {
+	if s.Mutate != nil {
+		s.Mutate(c)
+	}
 }
 
 // Catalog returns the §4.2 scenario suite, baseline first.
 func Catalog() []Scenario {
 	return []Scenario{
-		{Name: "baseline", Mutate: func(*core.Config) {}},
+		{Name: "baseline"},
 		{Name: "list-poison-30%", Mutate: func(c *core.Config) { c.PoisonFrac = 0.3 }},
 		{Name: "sybil-50%-agents", Mutate: func(c *core.Config) { c.MaliciousFrac = 0.5 }},
-		{Name: "dos-kill-50%-honest", Mutate: func(*core.Config) {}, DoSFrac: 0.5},
+		{Name: "dos-kill-50%-honest", Faults: FaultPlan{KillHonestFrac: 0.5}},
+	}
+}
+
+// Campaigns returns the coordinated-campaign suite the campaign driver runs
+// against both backends: the three behavior attacks plus one composite
+// pairing a sybil flood with a mid-run agent-killing DoS.
+func Campaigns() []Scenario {
+	return []Scenario{
+		{
+			Name:       "sybil-flood",
+			Kind:       KindSybilFlood,
+			Population: Population{Attackers: 4, IdentitiesPer: 16},
+		},
+		{
+			Name:       "collusion-ring",
+			Kind:       KindCollusionRing,
+			Population: Population{Attackers: 8, IdentitiesPer: 1},
+		},
+		{
+			Name:       "slander-cell",
+			Kind:       KindSlanderCell,
+			Population: Population{Attackers: 6, IdentitiesPer: 2, Victims: 3},
+		},
+		{
+			Name:       "composite-sybil-dos",
+			Kind:       KindSybilFlood,
+			Population: Population{Attackers: 4, IdentitiesPer: 16},
+			Faults:     FaultPlan{KillHonestFrac: 0.3},
+		},
 	}
 }
 

@@ -27,19 +27,31 @@ func TestCatalogShape(t *testing.T) {
 		t.Fatal("baseline must come first")
 	}
 	seen := map[string]bool{}
-	for _, sc := range cat {
-		if sc.Mutate == nil {
-			t.Fatalf("%s has nil Mutate", sc.Name)
-		}
+	for _, sc := range append(cat, Campaigns()...) {
 		if seen[sc.Name] {
 			t.Fatalf("duplicate scenario %s", sc.Name)
 		}
 		seen[sc.Name] = true
-		// Mutations must keep the config valid.
+		// Mutations (including absent ones, via Apply) must keep the config
+		// valid.
 		cfg := core.DefaultConfig()
-		sc.Mutate(&cfg)
+		sc.Apply(&cfg)
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("%s produces invalid config: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestCampaignCatalogShape(t *testing.T) {
+	for _, sc := range Campaigns() {
+		if sc.Kind == "" {
+			t.Fatalf("%s has no campaign kind", sc.Name)
+		}
+		if sc.Population.Attackers < 1 || sc.Population.IdentitiesPer < 1 {
+			t.Fatalf("%s population %+v is not runnable", sc.Name, sc.Population)
+		}
+		if sc.Kind == KindSlanderCell && sc.Population.Victims < 1 {
+			t.Fatalf("%s slander cell has no victims", sc.Name)
 		}
 	}
 }

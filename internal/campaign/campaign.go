@@ -1,0 +1,174 @@
+// Package campaign is the adversarial campaign harness (DESIGN.md §13): a
+// reusable driver that runs parameterized attacker populations — coordinated
+// sybil floods, collusion rings, slander cells, and composites that pair a
+// behavior attack with infrastructure faults — against either of the
+// codebase's two battlefields behind one interface:
+//
+//   - the discrete-event simulator (internal/sim + internal/core), where
+//     100k-node worlds make population-scale questions answerable;
+//   - a live internal/node fleet on real loopback TCP, where the admission
+//     gate, batched ingest, and fault dialer are the real implementations.
+//
+// Every run is scored the same way: reputation damage (MSE of honest agents'
+// estimates against true trust, victim-misclassification rate) against
+// attacker cost (identities minted, reports sent and admitted, proof-of-work
+// hash attempts spent). The resistance table those scores form is the
+// machine-readable answer to "what does this attack cost, and what does it
+// buy" — and sweeping the admission difficulty turns it into the
+// campaign-cost curve of EXPERIMENTS.md.
+package campaign
+
+import (
+	"fmt"
+
+	"hirep/internal/attack"
+	"hirep/internal/stats"
+)
+
+// Admission is the defense configuration a campaign runs against.
+type Admission struct {
+	// PoWBits is the per-identity first-report proof-of-work difficulty
+	// demanded by agents (0 disables the gate).
+	PoWBits int
+	// RateCap is how many reports one admission buys before the identity's
+	// rate accounting revokes it and demands fresh work (0 = one admission
+	// lasts forever).
+	RateCap int
+}
+
+// Spec describes one campaign run.
+type Spec struct {
+	// Scenario supplies the behavior kind, attacker population, and fault
+	// plan (attack.Campaigns is the standard suite).
+	Scenario attack.Scenario
+	// ReportsPerIdentity is how many reports each attacker identity fires at
+	// each targeted agent (default 8).
+	ReportsPerIdentity int
+	// Waves ramps the sybil join rate: identities enter in this many waves
+	// with honest traffic between them (default 1 = all at once).
+	Waves int
+	// Admission is the defense in force.
+	Admission Admission
+	// WorkBudget bounds the campaign's total hash attempts; once spent, no
+	// further identities can be admitted (0 = attackers pay whatever it
+	// takes). Sweeping PoWBits under a fixed budget yields the cost curve.
+	WorkBudget int64
+	// Seed roots the run's randomness (0 uses the backend's default).
+	Seed int64
+}
+
+// withDefaults fills the zero knobs.
+func (s Spec) withDefaults() Spec {
+	if s.ReportsPerIdentity <= 0 {
+		s.ReportsPerIdentity = 8
+	}
+	if s.Waves <= 0 {
+		s.Waves = 1
+	}
+	return s
+}
+
+// validate rejects specs no backend can run.
+func (s Spec) validate() error {
+	p := s.Scenario.Population
+	switch {
+	case s.Scenario.Kind == "":
+		return fmt.Errorf("campaign: scenario %q has no campaign kind", s.Scenario.Name)
+	case p.Attackers < 1 || p.IdentitiesPer < 1:
+		return fmt.Errorf("campaign: population %+v is not runnable", p)
+	case s.Scenario.Kind == attack.KindSlanderCell && p.Victims < 1:
+		return fmt.Errorf("campaign: slander cell needs victims")
+	case s.Admission.PoWBits < 0 || s.Admission.RateCap < 0 || s.WorkBudget < 0:
+		return fmt.Errorf("campaign: negative defense knobs")
+	}
+	return nil
+}
+
+// Score is one campaign run's outcome: damage on the left, cost on the right.
+type Score struct {
+	Backend  string // which battlefield ran it
+	Campaign string // scenario name
+	PoWBits  int    // admission difficulty in force
+
+	// Damage.
+	MSE            float64 // honest agents' estimate MSE vs true trust
+	VictimMisclass float64 // fraction of (agent, target) estimates pushed to the attacker's side
+	AgentsKilled   int     // honest agents the fault plan took down
+
+	// Cost.
+	IdentitiesMinted int64 // attacker identities created
+	ReportsSent      int64 // attack reports fired
+	ReportsAdmitted  int64 // attack reports that made it past admission
+	Work             int64 // hash attempts spent on admission proofs
+}
+
+// AdmittedPerWork is the attacker's reports-admitted-per-unit-work — the
+// campaign-cost curve's y axis. An un-gated run (no work spent) returns +Inf
+// conceptually; it is reported as the admitted count so tables stay finite.
+func (s Score) AdmittedPerWork() float64 {
+	if s.Work <= 0 {
+		return float64(s.ReportsAdmitted)
+	}
+	return float64(s.ReportsAdmitted) / float64(s.Work)
+}
+
+// Backend runs campaigns against one battlefield.
+type Backend interface {
+	// Name labels the backend in score rows ("sim", "live").
+	Name() string
+	// Run executes one campaign and scores it.
+	Run(spec Spec) (Score, error)
+}
+
+// ResistanceTable renders scores as the machine-readable resistance table
+// (stats.Table renders text and CSV).
+func ResistanceTable(scores []Score) *stats.Table {
+	t := stats.NewTable("Campaign resistance (DESIGN.md §13)",
+		"backend", "campaign", "pow bits", "MSE", "victim misclass", "killed",
+		"identities", "sent", "admitted", "work", "admitted/work")
+	for _, s := range scores {
+		t.AddRow(s.Backend, s.Campaign, s.PoWBits, s.MSE, s.VictimMisclass,
+			s.AgentsKilled, s.IdentitiesMinted, s.ReportsSent, s.ReportsAdmitted,
+			s.Work, s.AdmittedPerWork())
+	}
+	return t
+}
+
+// costAccountant is the shared admission-cost bookkeeping: it decides, per
+// (identity, agent) pair, whether the next report is admitted, charging
+// 2^bits expected hash attempts per admission and re-charging every RateCap
+// reports. Both backends use it — the sim backend for the whole cost model,
+// the live backend only for its budget cut-off (real solves are measured).
+type costAccountant struct {
+	bits      int
+	rateCap   int
+	budget    int64 // 0 = unlimited
+	work      int64
+	perTarget map[[2]int64]int // reports admitted since last solve, keyed (identity, agent)
+}
+
+func newCostAccountant(a Admission, budget int64) *costAccountant {
+	return &costAccountant{bits: a.PoWBits, rateCap: a.RateCap, budget: budget,
+		perTarget: make(map[[2]int64]int)}
+}
+
+// admit reports whether one more report from identity to agent clears
+// admission, charging for a fresh solve when needed.
+func (c *costAccountant) admit(identity, agent int64) bool {
+	if c.bits <= 0 {
+		return true
+	}
+	key := [2]int64{identity, agent}
+	used, admitted := c.perTarget[key]
+	needSolve := !admitted || (c.rateCap > 0 && used >= c.rateCap)
+	if needSolve {
+		cost := int64(1) << uint(c.bits) // expected attempts at `bits` leading zeros
+		if c.budget > 0 && c.work+cost > c.budget {
+			return false
+		}
+		c.work += cost
+		used = 0
+	}
+	c.perTarget[key] = used + 1
+	return true
+}

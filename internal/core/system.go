@@ -258,6 +258,17 @@ func (s *System) BackupCountOf(id topology.NodeID) int {
 	return len(s.peers[id].list.backups)
 }
 
+// AgentIDs returns every agent-capable node ID in ascending order.
+func (s *System) AgentIDs() []topology.NodeID {
+	var ids []topology.NodeID
+	for i, a := range s.agents {
+		if a != nil {
+			ids = append(ids, topology.NodeID(i))
+		}
+	}
+	return ids
+}
+
 // IsHonestAgent reports whether node id is an honest reputation agent.
 func (s *System) IsHonestAgent(id topology.NodeID) bool {
 	return s.agents[id] != nil && s.agents[id].honest

@@ -152,25 +152,58 @@ func (s *System) onReport(m simnet.Message) {
 		return
 	}
 	p := m.Payload.(reportPayload)
-	t := a.tallies[p.subject]
-	if p.positive {
+	a.record(p.reporter, p.subject, p.positive)
+}
+
+// record stores one report in the agent's tallies, attributed to reporter for
+// the credibility-weighted model.
+func (a *agentState) record(reporter, subject topology.NodeID, positive bool) {
+	t := a.tallies[subject]
+	if positive {
 		t.pos++
 	} else {
 		t.neg++
 	}
-	a.tallies[p.subject] = t
-	bySubject := a.perReporter[p.reporter]
+	a.tallies[subject] = t
+	bySubject := a.perReporter[reporter]
 	if bySubject == nil {
 		bySubject = make(map[topology.NodeID]tally)
-		a.perReporter[p.reporter] = bySubject
+		a.perReporter[reporter] = bySubject
 	}
-	rt := bySubject[p.subject]
-	if p.positive {
+	rt := bySubject[subject]
+	if positive {
 		rt.pos++
 	} else {
 		rt.neg++
 	}
-	bySubject[p.subject] = rt
+	bySubject[subject] = rt
+}
+
+// InjectReport stores one transaction report at agent directly, bypassing the
+// simulated wire — the campaign driver's hook (internal/campaign) for
+// coordinated attacker floods at 100k-node scale, where attacker traffic
+// would otherwise dominate simulator time. It applies exactly onReport's
+// logic. Returns false when agent is unknown or down, mirroring the silent
+// drop a dead agent's wire would produce.
+func (s *System) InjectReport(agent, reporter, subject topology.NodeID, positive bool) bool {
+	a := s.agents[agent]
+	if a == nil || a.down() {
+		return false
+	}
+	a.record(reporter, subject, positive)
+	return true
+}
+
+// ReportEstimateOf exposes agent's report-based trust estimate for subject as
+// a read-only probe (ok=false when the agent is unknown, down, or lacks
+// evidence) — the campaign scorer's window into what each honest agent would
+// answer, without driving a transaction.
+func (s *System) ReportEstimateOf(agent, subject topology.NodeID) (trust.Value, bool) {
+	a := s.agents[agent]
+	if a == nil || a.down() {
+		return 0, false
+	}
+	return s.reportEstimate(a, subject)
 }
 
 // onProbe answers a backup-agent liveness probe.

@@ -55,6 +55,14 @@ const (
 	StatusStoreFailed                     // verified, but the store append failed (retryable)
 	StatusSaturated                       // shed by admission control before verification (retryable)
 	StatusWrongOwner                      // subject outside this agent group's shards (retryable elsewhere)
+	// StatusAdmissionRequired bounces a whole batch from an identity the
+	// agent's sybil-admission gate (DESIGN.md §13) has not admitted: the
+	// batch must carry a proof-of-work solution bound to the reporter's
+	// nodeID. Not Retryable() — a blind resend cannot succeed — but not
+	// final either: ReportBatch mints a solution and retries, and the ack
+	// carries the demanded difficulty. Pre-§13 senders read it as a
+	// permanent reject (safe but lossy; see the mixed-version note).
+	StatusAdmissionRequired
 )
 
 // Retryable reports whether the status names a condition worth re-sending
@@ -82,6 +90,8 @@ func (s ReportStatus) String() string {
 		return "saturated"
 	case StatusWrongOwner:
 		return "wrong-owner"
+	case StatusAdmissionRequired:
+		return "admission-required"
 	default:
 		return fmt.Sprintf("ReportStatus(%d)", uint8(s))
 	}
@@ -100,12 +110,17 @@ type reportBatch struct {
 	nonce      pkc.Nonce         // batch nonce matching ack to batch
 	replyOnion *onion.Onion      // route for the ack
 	reports    [][]byte          // signed report wires (agentdir.SignReport)
+	sol        []byte            // optional admission proof-of-work solution
 }
 
 // encodeReportBatch builds the TReportBatch plaintext: SP_p, AP_p, batch
-// nonce, reply onion, then the signed report wires. Sealed to the agent's
-// anonymity key by the caller.
-func encodeReportBatch(self *pkc.Identity, nonce pkc.Nonce, replyOnion *onion.Onion, reports [][]byte) []byte {
+// nonce, reply onion, then the signed report wires — followed, only when the
+// sender is answering a StatusAdmissionRequired ack, by a trailing-optional
+// admission solution (DESIGN.md §13). The suffix is appended strictly on
+// demand so batches to pre-§13 agents keep the exact legacy shape those
+// agents' decoders Finish() on. Sealed to the agent's anonymity key by the
+// caller.
+func encodeReportBatch(self *pkc.Identity, nonce pkc.Nonce, replyOnion *onion.Onion, reports [][]byte, sol []byte) []byte {
 	var e wire.Encoder
 	e.Bytes(self.Sign.Public)
 	e.Bytes(self.Anon.Public.Bytes())
@@ -114,6 +129,9 @@ func encodeReportBatch(self *pkc.Identity, nonce pkc.Nonce, replyOnion *onion.On
 	e.U64(uint64(len(reports)))
 	for _, r := range reports {
 		e.Bytes(r)
+	}
+	if len(sol) > 0 {
+		e.Bytes(sol)
 	}
 	return e.Encode()
 }
@@ -153,6 +171,15 @@ func decodeReportBatch(plain []byte) (reportBatch, error) {
 	for i := uint64(0); i < count; i++ {
 		b.reports = append(b.reports, d.Bytes())
 	}
+	if d.More() {
+		// Trailing-optional admission solution (§13); absent in batches from
+		// pre-admission senders, which still decode.
+		sol := d.Bytes()
+		if len(sol) != pkc.AdmissionSolutionSize {
+			return reportBatch{}, ErrBadMessage
+		}
+		b.sol = sol
+	}
 	if d.Finish() != nil {
 		return reportBatch{}, d.Finish()
 	}
@@ -160,10 +187,12 @@ func decodeReportBatch(plain []byte) (reportBatch, error) {
 }
 
 // encodeBatchAck builds the TReportBatchAck plaintext: a signed part (batch
-// nonce + statuses) followed by the agent's SP and signature, exactly the
-// shape of a trust response. Sealed to the reporter's anonymity key by the
-// caller.
-func encodeBatchAck(self *pkc.Identity, nonce pkc.Nonce, statuses []ReportStatus) []byte {
+// nonce + statuses, plus — only for admission bounces — the trailing-optional
+// demanded proof-of-work difficulty) followed by the agent's SP and
+// signature, exactly the shape of a trust response. The difficulty is inside
+// the signed part so a relay cannot inflate the work it asks of a reporter.
+// Sealed to the reporter's anonymity key by the caller.
+func encodeBatchAck(self *pkc.Identity, nonce pkc.Nonce, statuses []ReportStatus, bits int) []byte {
 	raw := make([]byte, len(statuses))
 	for i, s := range statuses {
 		raw[i] = byte(s)
@@ -171,6 +200,9 @@ func encodeBatchAck(self *pkc.Identity, nonce pkc.Nonce, statuses []ReportStatus
 	var body wire.Encoder
 	body.Bytes(nonce[:])
 	body.Bytes(raw)
+	if bits > 0 {
+		body.U64(uint64(bits))
+	}
 	signedPart := body.Encode()
 	sig := self.SignMessage(signedPart)
 	var e wire.Encoder
@@ -178,11 +210,60 @@ func encodeBatchAck(self *pkc.Identity, nonce pkc.Nonce, statuses []ReportStatus
 	return e.Encode()
 }
 
+// decodedBatchAck is a parsed TReportBatchAck plaintext, before signature
+// verification (the caller matches sp against the awaited agent first).
+type decodedBatchAck struct {
+	signedPart []byte
+	sp         []byte
+	sig        []byte
+	nonce      pkc.Nonce
+	raw        []byte // one status byte per report
+	bits       int    // demanded admission difficulty (0 when absent)
+}
+
+// decodeBatchAck parses a TReportBatchAck plaintext written by
+// encodeBatchAck, including the trailing-optional admission difficulty.
+func decodeBatchAck(plain []byte) (decodedBatchAck, error) {
+	d := wire.NewDecoder(plain)
+	var a decodedBatchAck
+	a.signedPart = d.Bytes()
+	a.sp = d.Bytes()
+	a.sig = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return decodedBatchAck{}, err
+	}
+	b := wire.NewDecoder(a.signedPart)
+	nonceRaw := b.Bytes()
+	a.raw = b.Bytes()
+	if b.More() {
+		bits := b.U64()
+		if bits == 0 || bits > 256 {
+			return decodedBatchAck{}, ErrBadMessage
+		}
+		a.bits = int(bits)
+	}
+	if err := b.Finish(); err != nil {
+		return decodedBatchAck{}, err
+	}
+	if len(nonceRaw) != pkc.NonceSize {
+		return decodedBatchAck{}, ErrBadMessage
+	}
+	copy(a.nonce[:], nonceRaw)
+	return a, nil
+}
+
+// batchAck is one settled ack: the per-report statuses plus the admission
+// difficulty demanded by the agent (0 unless the batch was bounced).
+type batchAck struct {
+	statuses []ReportStatus
+	bits     int
+}
+
 // batchAckWait is one outstanding batch awaiting its ack.
 type batchAckWait struct {
 	sp    ed25519.PublicKey // agent expected to sign the ack
 	count int               // statuses the ack must carry
-	ch    chan []ReportStatus
+	ch    chan batchAck
 }
 
 // ReportBatch sends a batch of signed transaction reports to agent through
@@ -202,44 +283,56 @@ func (n *Node) ReportBatch(agent AgentInfo, reports []BatchReport, replyOnion *o
 	if len(reports) > MaxBatchReports {
 		return nil, ErrBatchTooLarge
 	}
-	var statuses []ReportStatus
-	err := n.retrier.Do(func(_ int, perAttempt time.Duration) error {
-		var aerr error
-		statuses, aerr = n.reportBatchOnce(agent, reports, replyOnion, n.attemptBudget(perAttempt))
-		if errors.Is(aerr, ErrClosed) || errors.Is(aerr, ErrBadAgent) {
-			return resilience.Permanent(aerr)
+	var ack batchAck
+	send := func(sol []byte) error {
+		return n.retrier.Do(func(_ int, perAttempt time.Duration) error {
+			var aerr error
+			ack, aerr = n.reportBatchOnce(agent, reports, replyOnion, sol, n.attemptBudget(perAttempt))
+			if errors.Is(aerr, ErrClosed) || errors.Is(aerr, ErrBadAgent) {
+				return resilience.Permanent(aerr)
+			}
+			return aerr
+		})
+	}
+	err := send(nil)
+	if err == nil && ack.bits > 0 && allAdmissionRequired(ack.statuses) {
+		// The agent's sybil-admission gate bounced us (§13): mint a solution
+		// bound to our nodeID at the demanded difficulty and retry once with
+		// it attached. A nil solution (difficulty beyond the solve limit)
+		// leaves the admission-required statuses for the caller to defer.
+		if sol := n.mintAdmission(ack.bits); sol != nil {
+			err = send(sol)
 		}
-		return aerr
-	})
-	return statuses, err
+	}
+	return ack.statuses, err
 }
 
 // reportBatchOnce runs one complete batch/ack exchange under wait.
-func (n *Node) reportBatchOnce(agent AgentInfo, reports []BatchReport, replyOnion *onion.Onion, wait time.Duration) ([]ReportStatus, error) {
+func (n *Node) reportBatchOnce(agent AgentInfo, reports []BatchReport, replyOnion *onion.Onion, sol []byte, wait time.Duration) (batchAck, error) {
 	if n.isClosed() {
-		return nil, ErrClosed
+		return batchAck{}, ErrClosed
 	}
 	if err := agent.Onion.VerifySig(agent.SP); err != nil {
-		return nil, resilience.Permanent(fmt.Errorf("node: agent onion: %w", err))
+		return batchAck{}, resilience.Permanent(fmt.Errorf("node: agent onion: %w", err))
 	}
 	nonce, err := pkc.NewNonce(nil)
 	if err != nil {
-		return nil, err
+		return batchAck{}, err
 	}
 	self := n.identity()
 	wires := make([][]byte, len(reports))
 	for i, r := range reports {
 		rn, err := pkc.NewNonce(nil)
 		if err != nil {
-			return nil, err
+			return batchAck{}, err
 		}
 		wires[i] = agentdir.SignReport(self, r.Subject, r.Positive, rn)
 	}
-	sealed, err := pkc.Seal(agent.AP, encodeReportBatch(self, nonce, replyOnion, wires), nil)
+	sealed, err := pkc.Seal(agent.AP, encodeReportBatch(self, nonce, replyOnion, wires, sol), nil)
 	if err != nil {
-		return nil, err
+		return batchAck{}, err
 	}
-	ch := make(chan []ReportStatus, 1)
+	ch := make(chan batchAck, 1)
 	n.mu.Lock()
 	n.pendingAcks[nonce] = &batchAckWait{sp: agent.SP, count: len(reports), ch: ch}
 	n.mu.Unlock()
@@ -249,13 +342,13 @@ func (n *Node) reportBatchOnce(agent AgentInfo, reports []BatchReport, replyOnio
 		n.mu.Unlock()
 	}()
 	if err := n.sendThroughOnionTimeout(agent.Onion, wire.TReportBatch, sealed, wait); err != nil {
-		return nil, err
+		return batchAck{}, err
 	}
 	select {
-	case statuses := <-ch:
-		return statuses, nil
+	case ack := <-ch:
+		return ack, nil
 	case <-time.After(wait):
-		return nil, ErrTimeout
+		return batchAck{}, ErrTimeout
 	}
 }
 
@@ -291,6 +384,13 @@ func (n *Node) ReportBatchOrDefer(book *AgentBook, agent AgentInfo, reports []Ba
 		}
 		n.noteSuccess(book, id)
 		n.reconcileAck(agent, chunk, statuses)
+		if allAdmissionRequired(statuses) {
+			// The gate bounced the chunk and ReportBatch could not solve the
+			// demanded difficulty; every further chunk would bounce the same
+			// way. Defer the remainder and let the flusher retry later.
+			n.deferBatch(agent, reports)
+			break
+		}
 		if allSaturated(statuses) {
 			// The agent shed the whole chunk before verifying anything: its
 			// admission queue is full, and firing the remaining chunks at it
@@ -329,6 +429,13 @@ func (n *Node) reconcileAck(agent AgentInfo, chunk []BatchReport, statuses []Rep
 			if st == StatusWrongOwner {
 				n.markPlacementStale()
 			}
+			n.deferReport(agent, chunk[i].Subject, chunk[i].Positive)
+		case st == StatusAdmissionRequired:
+			// ReportBatch already tried to solve; landing here means the
+			// demanded difficulty exceeds our solve limit (or minting
+			// failed). Defer rather than reject: the outbox retries on its
+			// backoff cadence, and succeeds if the operator raises the limit
+			// or the agent lowers its gate.
 			n.deferReport(agent, chunk[i].Subject, chunk[i].Positive)
 		default:
 			n.stats.reportsRejected.Add(1)
@@ -445,9 +552,6 @@ func (n *Node) handleReportBatch(sealed []byte) {
 		return
 	}
 	reporter := pkc.DeriveNodeID(b.sp)
-	if err := n.agent.RegisterKey(reporter, b.sp); err != nil {
-		return
-	}
 	// The reply onion must be signed by the reporter and non-stale; without
 	// this an attacker could use the agent as an ack reflector.
 	if err := b.replyOnion.VerifySig(b.sp); err != nil {
@@ -457,6 +561,43 @@ func (n *Node) handleReportBatch(sealed []byte) {
 	ageErr := n.ages.Accept(reporter, b.replyOnion)
 	n.mu.Unlock()
 	if ageErr != nil {
+		return
+	}
+	// Sybil-admission gate (§13), deliberately BEFORE RegisterKey — an
+	// unadmitted identity must not even occupy a key-table slot — and before
+	// the verification pool, so a bounced batch costs this agent one SHA-256
+	// over the claimed solution instead of N Ed25519 verifies. The whole
+	// batch bounces with StatusAdmissionRequired plus the demanded
+	// difficulty; the sender solves and retries.
+	if g := n.admission; g != nil {
+		verdict := g.check(reporter, b.sol, len(b.reports))
+		if !verdict.passed() {
+			switch verdict {
+			case admissionReplay:
+				n.stats.admissionReplayed.Add(1)
+				n.cnt.admissionReplayed.Inc()
+			case admissionThrottled:
+				n.stats.admissionThrottled.Add(1)
+				n.cnt.admissionThrottled.Inc()
+			}
+			n.stats.admissionRequired.Add(int64(len(b.reports)))
+			n.cnt.admissionRequired.Add(int64(len(b.reports)))
+			statuses := make([]ReportStatus, len(b.reports))
+			for i := range statuses {
+				statuses[i] = StatusAdmissionRequired
+			}
+			n.sendBatchAck(ingestJob{
+				self: self, reporter: reporter, ap: b.ap,
+				nonce: b.nonce, replyOnion: b.replyOnion, reports: b.reports,
+			}, statuses, g.bits)
+			return
+		}
+		if verdict == admissionNewlyOK {
+			n.stats.admissionAdmitted.Add(1)
+			n.cnt.admissionAdmitted.Inc()
+		}
+	}
+	if err := n.agent.RegisterKey(reporter, b.sp); err != nil {
 		return
 	}
 	job := ingestJob{
@@ -479,7 +620,7 @@ func (n *Node) handleReportBatch(sealed []byte) {
 		for i := range statuses {
 			statuses[i] = StatusSaturated
 		}
-		n.sendBatchAck(job, statuses)
+		n.sendBatchAck(job, statuses, 0)
 	}
 }
 
@@ -513,16 +654,17 @@ func (n *Node) processReportBatch(job ingestJob) {
 		}
 	}
 	n.stats.reportBatches.Add(1)
-	n.sendBatchAck(job, statuses)
+	n.sendBatchAck(job, statuses, 0)
 }
 
 // sendBatchAck signs, seals, and routes one per-report ack back through the
-// reporter's reply onion.
-func (n *Node) sendBatchAck(job ingestJob, statuses []ReportStatus) {
+// reporter's reply onion. bits, when positive, is the admission difficulty
+// demanded of a bounced batch.
+func (n *Node) sendBatchAck(job ingestJob, statuses []ReportStatus, bits int) {
 	if n.isClosed() {
 		return
 	}
-	sealed, err := pkc.Seal(job.ap, encodeBatchAck(job.self, job.nonce, statuses), nil)
+	sealed, err := pkc.Seal(job.ap, encodeBatchAck(job.self, job.nonce, statuses, bits), nil)
 	if err != nil {
 		return
 	}
@@ -536,37 +678,26 @@ func (n *Node) handleReportBatchAck(sealed []byte) {
 	if !ok {
 		return
 	}
-	d := wire.NewDecoder(plain)
-	signedPart := d.Bytes()
-	agentSP := d.Bytes()
-	sig := d.Bytes()
-	if d.Finish() != nil {
+	a, err := decodeBatchAck(plain)
+	if err != nil {
 		return
 	}
-	b := wire.NewDecoder(signedPart)
-	nonceRaw := b.Bytes()
-	raw := b.Bytes()
-	if b.Finish() != nil || len(nonceRaw) != pkc.NonceSize {
-		return
-	}
-	var nonce pkc.Nonce
-	copy(nonce[:], nonceRaw)
 	n.mu.Lock()
-	w := n.pendingAcks[nonce]
+	w := n.pendingAcks[a.nonce]
 	n.mu.Unlock()
-	if w == nil || len(raw) != w.count {
+	if w == nil || len(a.raw) != w.count {
 		return
 	}
 	// Only the agent the batch was addressed to may settle it.
-	if !bytes.Equal(agentSP, w.sp) || !pkc.Verify(w.sp, signedPart, sig) {
+	if !bytes.Equal(a.sp, w.sp) || !pkc.Verify(w.sp, a.signedPart, a.sig) {
 		return
 	}
-	statuses := make([]ReportStatus, len(raw))
-	for i, v := range raw {
+	statuses := make([]ReportStatus, len(a.raw))
+	for i, v := range a.raw {
 		statuses[i] = ReportStatus(v)
 	}
 	select {
-	case w.ch <- statuses:
+	case w.ch <- batchAck{statuses: statuses, bits: a.bits}:
 	default:
 	}
 }

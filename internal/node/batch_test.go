@@ -94,11 +94,11 @@ func TestReportBatchMixed(t *testing.T) {
 
 	// Send the crafted batch through the real wire path and wait for its ack.
 	nonce, _ := pkc.NewNonce(nil)
-	sealed, err := pkc.Seal(info.AP, encodeReportBatch(self, nonce, replyOnion, wires), nil)
+	sealed, err := pkc.Seal(info.AP, encodeReportBatch(self, nonce, replyOnion, wires, nil), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := make(chan []ReportStatus, 1)
+	ch := make(chan batchAck, 1)
 	peer.mu.Lock()
 	peer.pendingAcks[nonce] = &batchAckWait{sp: info.SP, count: len(wires), ch: ch}
 	peer.mu.Unlock()
@@ -107,7 +107,8 @@ func TestReportBatchMixed(t *testing.T) {
 	}
 	var statuses []ReportStatus
 	select {
-	case statuses = <-ch:
+	case ack := <-ch:
+		statuses = ack.statuses
 	case <-time.After(5 * time.Second):
 		t.Fatal("no batch ack arrived")
 	}
@@ -204,7 +205,7 @@ func TestReportBatchSaturationSheds(t *testing.T) {
 	reports := []BatchReport{{Subject: subject.ID, Positive: true}, {Subject: subject.ID, Positive: false}}
 	// First batch occupies the queue slot (nobody drains it), so its ack
 	// never arrives; give it a throwaway send with a short wait.
-	if _, err := peer.reportBatchOnce(info, reports[:1], replyOnion, 300*time.Millisecond); err != ErrTimeout {
+	if _, err := peer.reportBatchOnce(info, reports[:1], replyOnion, nil, 300*time.Millisecond); err != ErrTimeout {
 		t.Fatalf("queued batch returned %v, want %v (ack can only time out)", err, ErrTimeout)
 	}
 	// Second batch finds the queue full and must be shed with an ack.
@@ -310,7 +311,7 @@ func FuzzDecodeReportBatch(f *testing.F) {
 	nonce, _ := pkc.NewNonce(nil)
 	ro := &onion.Onion{Entry: "127.0.0.1:1", Blob: []byte{1, 2, 3}, Seq: 1, Sig: []byte{4}}
 	wires := [][]byte{agentdir.SignReport(self, subject, true, nonce)}
-	f.Add(encodeReportBatch(self, nonce, ro, wires))
+	f.Add(encodeReportBatch(self, nonce, ro, wires, nil))
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, 'x'})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -366,7 +367,7 @@ func TestReportBatchOrDeferStopsWhenSaturated(t *testing.T) {
 	// Occupy the single admission slot; nobody drains it, so the ack can
 	// only time out.
 	filler := []BatchReport{{Subject: subject.ID, Positive: true}}
-	if _, err := sender.reportBatchOnce(info, filler, ro, 300*time.Millisecond); err != ErrTimeout {
+	if _, err := sender.reportBatchOnce(info, filler, ro, nil, 300*time.Millisecond); err != ErrTimeout {
 		t.Fatalf("queued batch returned %v, want %v", err, ErrTimeout)
 	}
 
@@ -396,7 +397,7 @@ func TestEmptyReportBatchCountedMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := encodeReportBatch(peer.identity(), nonce, replyOnion, nil)
+	plain := encodeReportBatch(peer.identity(), nonce, replyOnion, nil, nil)
 	sealed, err := pkc.Seal(info.AP, plain, nil)
 	if err != nil {
 		t.Fatal(err)

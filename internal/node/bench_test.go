@@ -21,8 +21,21 @@ import (
 // benchFleet builds agent + peer + relay once per benchmark.
 func benchFleet(b *testing.B) (agentNode, peer *Node, info AgentInfo, replyOnion *onion.Onion) {
 	b.Helper()
+	return benchFleetOpts(b, Options{})
+}
+
+// benchFleetOpts is benchFleet with extra knobs on the agent's Options (the
+// admission benchmark arms the sybil gate through it).
+func benchFleetOpts(b *testing.B, agentOpts Options) (agentNode, peer *Node, info AgentInfo, replyOnion *onion.Onion) {
+	b.Helper()
 	mk := func(isAgent bool) *Node {
-		n, err := Listen("127.0.0.1:0", Options{Agent: isAgent, Timeout: 10 * time.Second})
+		opts := Options{Timeout: 10 * time.Second}
+		if isAgent {
+			opts = agentOpts
+			opts.Agent = true
+			opts.Timeout = 10 * time.Second
+		}
+		n, err := Listen("127.0.0.1:0", opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,6 +138,41 @@ func BenchmarkIngestBatched(b *testing.B) {
 	}
 	if _, err := peer.ReportBatch(info, reports[:1], replyOnion); err != nil {
 		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		statuses, err := peer.ReportBatch(info, reports, replyOnion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, st := range statuses {
+			if st != StatusStored {
+				b.Fatalf("report %d acked %v", j, st)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)*size/b.Elapsed().Seconds(), "reports/sec")
+}
+
+// BenchmarkIngestAdmission is BenchmarkIngestBatched with the agent's
+// sybil-admission gate armed (DESIGN.md §13): the sender pays one proof of
+// work in the warm-up, then every measured batch is from an already-admitted
+// identity. The verify.sh gate holds this within 5% of BenchmarkIngestBatched
+// — steady-state admission costs one map lookup per batch, not crypto.
+func BenchmarkIngestAdmission(b *testing.B) {
+	const size = 256
+	_, peer, info, replyOnion := benchFleetOpts(b, Options{AdmissionPoWBits: 8})
+	subject, _ := pkc.NewIdentity(nil)
+	reports := make([]BatchReport, size)
+	for i := range reports {
+		reports[i] = BatchReport{Subject: subject.ID, Positive: i%2 == 0}
+	}
+	// Warm: bounces once, mints the admission proof, registers the key.
+	if _, err := peer.ReportBatch(info, reports[:1], replyOnion); err != nil {
+		b.Fatal(err)
+	}
+	if got := peer.Stats().AdmissionSolved; got != 1 {
+		b.Fatalf("warm-up solved %d proofs, want 1", got)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -428,7 +476,7 @@ func prepareBatchFrame(b *testing.B, n *Node, agent AgentInfo, reports []BatchRe
 		}
 		wires[i] = agentdir.SignReport(self, r.Subject, r.Positive, rn)
 	}
-	sealed, err := pkc.Seal(agent.AP, encodeReportBatch(self, nonce, replyOnion, wires), nil)
+	sealed, err := pkc.Seal(agent.AP, encodeReportBatch(self, nonce, replyOnion, wires, nil), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -439,7 +487,7 @@ func prepareBatchFrame(b *testing.B, n *Node, agent AgentInfo, reports []BatchRe
 // frame: register the ack waiter, push the frame through the agent's onion,
 // wait for the signed per-report ack.
 func (n *Node) sendBatchFrame(agent AgentInfo, pb preparedBatch, wait time.Duration) ([]ReportStatus, error) {
-	ch := make(chan []ReportStatus, 1)
+	ch := make(chan batchAck, 1)
 	n.mu.Lock()
 	n.pendingAcks[pb.nonce] = &batchAckWait{sp: agent.SP, count: pb.count, ch: ch}
 	n.mu.Unlock()
@@ -452,8 +500,8 @@ func (n *Node) sendBatchFrame(agent AgentInfo, pb preparedBatch, wait time.Durat
 		return nil, err
 	}
 	select {
-	case statuses := <-ch:
-		return statuses, nil
+	case ack := <-ch:
+		return ack.statuses, nil
 	case <-time.After(wait):
 		return nil, ErrTimeout
 	}

@@ -2,7 +2,6 @@ package node
 
 import (
 	"testing"
-	"time"
 
 	"hirep/internal/pkc"
 	"hirep/internal/resilience"
@@ -29,51 +28,28 @@ func TestChaosFleetSurvivesAgentOutage(t *testing.T) {
 		t.Skip("live chaos test")
 	}
 	fd := resilience.NewFaultDialer(nil, 42)
-	mk := func(agent bool) *Node {
-		nd, err := Listen("127.0.0.1:0", Options{
-			Agent:               agent,
-			Timeout:             700 * time.Millisecond,
-			ProbeTimeout:        400 * time.Millisecond,
-			Retry:               resilience.RetryPolicy{Attempts: 2, BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
-			Breaker:             resilience.BreakerConfig{Threshold: 2, Cooldown: 200 * time.Millisecond},
-			OutboxFlushInterval: 50 * time.Millisecond,
-			Dialer:              fd.Dial,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { _ = nd.Close() })
-		return nd
-	}
-	a0, a1, a2 := mk(true), mk(true), mk(true)
-	standby := mk(true)
-	peer := mk(false)
-	relay1, relay2 := mk(false), mk(false)
-
-	infoFor := func(a *Node) AgentInfo {
-		o, err := a.BuildOnion(fetchRoute(t, a, []*Node{relay1, relay2}))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return a.Info(o)
-	}
-	info0, info1, info2, infoS := infoFor(a0), infoFor(a1), infoFor(a2), infoFor(standby)
-
-	book, err := NewAgentBook(4, 0.3, 0.4)
+	fl, err := StartFleet(FleetConfig{Agents: 4, Relays: 2, Peers: 1, Faults: fd})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !book.Add(info0) || !book.Add(info1) || !book.Add(info2) {
-		t.Fatal("adds failed")
+	t.Cleanup(func() { _ = fl.Close() })
+	a0, a1, a2, standby := fl.Agents[0], fl.Agents[1], fl.Agents[2], fl.Agents[3]
+	peer := fl.Peers[0]
+
+	infos, err := fl.AgentInfos()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !book.AddBackup(infoS) {
-		t.Fatal("AddBackup failed")
+	info0, infoS := infos[0], infos[3]
+
+	book, err := fl.Book(infos, 3, 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	book.SetQuorum(2)
 	peer.AttachBook(book)
 
 	subject, _ := pkc.NewIdentity(nil)
-	replyOnion, err := peer.BuildOnion(fetchRoute(t, peer, []*Node{relay2}))
+	replyOnion, err := fl.ReplyOnion(peer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +66,9 @@ func TestChaosFleetSurvivesAgentOutage(t *testing.T) {
 
 	// Kill a0 the silent way: every dial to it gets a black-hole connection.
 	// Onion forwards to it now vanish without any error signal.
-	fd.BlackHole(a0.Addr())
+	if err := fl.BlackHole(a0); err != nil {
+		t.Fatal(err)
+	}
 
 	// Two degraded evaluations: quorum 2-of-3 keeps them succeeding, and the
 	// second failure trips a0's breaker (threshold 2), demotes it, and
@@ -167,7 +145,9 @@ func TestChaosFleetSurvivesAgentOutage(t *testing.T) {
 	// Revive a0 and probe the backups: once the breaker cooldown elapses the
 	// probe succeeds, the breaker closes, a0 is restored to the book, and the
 	// flusher drains the deferred report into a0's store.
-	fd.Clear(a0.Addr())
+	if err := fl.Revive(a0); err != nil {
+		t.Fatal(err)
+	}
 	waitFor(t, func() bool {
 		for _, id := range peer.ProbeBackups(book, replyOnion) {
 			if id == info0.ID() {

@@ -155,6 +155,27 @@ type Options struct {
 	// this agent — seal shards and pull their exports during a rebalance.
 	// Like ReplicaOf, an offline pairing; see also AuthorizeHandoffPeer.
 	HandoffPeers []pkc.NodeID
+	// AdmissionPoWBits, when positive on an agent, arms the sybil-admission
+	// gate (DESIGN.md §13): the first report batch of every identity must
+	// carry a proof-of-work solution with this many leading zero bits bound
+	// to the reporter's nodeID, checked in the ingest path before any
+	// signature work. 0 disables the gate.
+	AdmissionPoWBits int
+	// AdmissionRate is the sustained reports/sec the gate allows per
+	// admitted identity; exceeding it revokes the admission so a flood pays
+	// a fresh proof of work per burst. 0 means unlimited once admitted.
+	AdmissionRate float64
+	// AdmissionBurst is the per-identity token-bucket burst (default
+	// 2×ReportBatchSize). Only meaningful with AdmissionRate set.
+	AdmissionBurst int
+	// AdmissionCap bounds the admitted-identity table (default 4096);
+	// overflow evicts the oldest admission, whose identity must re-solve.
+	AdmissionCap int
+	// AdmissionSolveLimit is the hardest difficulty this node will solve
+	// when an agent demands admission (default 24): a malicious agent
+	// cannot burn unbounded sender CPU. Harder demands leave the reports
+	// deferred in the outbox.
+	AdmissionSolveLimit int
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -199,6 +220,7 @@ type Node struct {
 	pendingAcks map[pkc.Nonce]*batchAckWait
 	ingest      *ingestPool
 	ackOnion    *onion.Onion
+	admission   *admissionGate // sybil-admission gate (nil = disabled)
 
 	// Replication plumbing (replication.go): primary-side shipping state,
 	// replica stores held for other primaries, and in-flight status probes.
@@ -333,6 +355,15 @@ func Listen(addr string, opts Options) (*Node, error) {
 	if opts.VerifyQueue <= 0 {
 		opts.VerifyQueue = defaultVerifyQueue
 	}
+	if opts.AdmissionSolveLimit <= 0 {
+		opts.AdmissionSolveLimit = defaultAdmissionSolveLimit
+	}
+	if opts.AdmissionSolveLimit > pkc.MaxAdmissionBits {
+		opts.AdmissionSolveLimit = pkc.MaxAdmissionBits
+	}
+	if opts.AdmissionBurst <= 0 {
+		opts.AdmissionBurst = 2 * opts.ReportBatchSize
+	}
 	if len(opts.Replicas) > 0 && !opts.Agent {
 		return nil, fmt.Errorf("node: Replicas requires Agent")
 	}
@@ -411,6 +442,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 		}
 		n.agent = agentdir.NewWithStore(id, 0, st)
 		n.replicas = newReplicaSet(opts.ReplicaOf, opts.ReplicaPeers)
+		n.admission = newAdmissionGate(opts.AdmissionPoWBits, opts.AdmissionRate, opts.AdmissionBurst, opts.AdmissionCap)
 		n.startIngestPool(opts.VerifyWorkers, opts.VerifyQueue)
 		if n.repl != nil {
 			n.repl.start()

@@ -11,27 +11,18 @@ import (
 	"hirep/internal/wire"
 )
 
-// mkReplNode builds a node for replication tests: short sync interval,
-// chaos-grade timeouts, and an optional shared fault dialer. A tiny cap (the
-// chaos test uses 4) makes handoff evictions — and therefore anti-entropy —
-// actually happen in-test.
+// mkReplNode builds a node for replication tests on the shared chaos-grade
+// fleet options (ChaosOptions, fleet.go) plus a short sync interval. A tiny
+// handoff cap (the chaos test uses 4) makes handoff evictions — and therefore
+// anti-entropy — actually happen in-test.
 func mkReplNode(t *testing.T, fd *resilience.FaultDialer, agent bool, dir string, replicas []string, handoffCap int) *Node {
 	t.Helper()
-	opts := Options{
-		Agent:               agent,
-		StoreDir:            dir,
-		Replicas:            replicas,
-		SyncInterval:        150 * time.Millisecond,
-		HandoffCap:          handoffCap,
-		Timeout:             700 * time.Millisecond,
-		ProbeTimeout:        400 * time.Millisecond,
-		Retry:               resilience.RetryPolicy{Attempts: 2, BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
-		Breaker:             resilience.BreakerConfig{Threshold: 2, Cooldown: 200 * time.Millisecond},
-		OutboxFlushInterval: 50 * time.Millisecond,
-	}
-	if fd != nil {
-		opts.Dialer = fd.Dial
-	}
+	opts := ChaosOptions(fd)
+	opts.Agent = agent
+	opts.StoreDir = dir
+	opts.Replicas = replicas
+	opts.SyncInterval = 150 * time.Millisecond
+	opts.HandoffCap = handoffCap
 	nd, err := Listen("127.0.0.1:0", opts)
 	if err != nil {
 		t.Fatal(err)

@@ -70,6 +70,15 @@ type resilienceCounters struct {
 	handoffPulled            *metrics.Counter
 	handoffUnauthorized      *metrics.Counter
 
+	// Sybil-admission gate (DESIGN.md §13): agent-side bounce/admit/replay/
+	// throttle counts and sender-side proof-of-work cost.
+	admissionRequired  *metrics.Counter
+	admissionAdmitted  *metrics.Counter
+	admissionReplayed  *metrics.Counter
+	admissionThrottled *metrics.Counter
+	admissionSolved    *metrics.Counter
+	admissionWork      *metrics.Counter
+
 	// Agent report-store health, mirrored from repstore by
 	// updateStoreHealth so shutdown dumps and scrapes see WAL growth and
 	// compaction trouble.
@@ -108,6 +117,12 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.handoffSealed = r.Counter("node_handoff_sealed_total")
 	c.handoffPulled = r.Counter("node_handoff_pulled_total")
 	c.handoffUnauthorized = r.Counter("node_handoff_unauthorized_total")
+	c.admissionRequired = r.Counter("node_admission_required_total")
+	c.admissionAdmitted = r.Counter("node_admission_admitted_total")
+	c.admissionReplayed = r.Counter("node_admission_replayed_total")
+	c.admissionThrottled = r.Counter("node_admission_throttled_total")
+	c.admissionSolved = r.Counter("node_admission_solved_total")
+	c.admissionWork = r.Counter("node_admission_work_total")
 	c.storeWALBytes = r.Gauge("node_store_wal_bytes")
 	c.storeCompactFailures = r.Gauge("node_store_compact_failures")
 	c.storeCompactErr = r.Gauge("node_store_compact_err")
@@ -487,11 +502,23 @@ func (n *Node) flushOutboxBatched(book *AgentBook, ro *onion.Onion) (sent, block
 						n.markPlacementStale()
 					}
 					blocked++
+				case st == StatusAdmissionRequired:
+					// ReportBatch already tried solving; the demanded
+					// difficulty exceeds our solve limit. Keep the entry
+					// queued — the flusher backs off, and the report drains
+					// if the gate softens or the limit is raised.
+					blocked++
 				default:
 					_ = n.outbox.Ack(g.seqs[lo+i])
 					n.stats.reportsRejected.Add(1)
 					n.cnt.reportsRejected.Inc()
 				}
+			}
+			if allAdmissionRequired(statuses) {
+				// Unadmitted at this agent and unable to solve: every further
+				// chunk this pass would bounce identically.
+				blocked += len(g.reports) - hi
+				break
 			}
 			if allSaturated(statuses) {
 				// The agent shed this whole chunk at admission: its queue is

@@ -53,11 +53,23 @@ type Stats struct {
 	IngestRejectedWrongOwner int64 // reports rejected: subject outside this group's shards
 	ShardsSealed             int64 // shards sealed against writes for a handoff
 	ShardsPulled             int64 // shards pulled and merged during a rebalance
+
+	// Sybil-admission gate (DESIGN.md §13). Agent side: reports bounced
+	// pending admission, identities admitted, spent-solution replays, and
+	// rate-accounting revocations. Sender side: proofs of work minted and
+	// the total hash attempts they cost — the campaign harness's
+	// attacker-cost unit.
+	AdmissionRequired  int64 // reports bounced with StatusAdmissionRequired
+	AdmissionAdmitted  int64 // identities admitted on a valid solution
+	AdmissionReplayed  int64 // batches rejected: solution already spent
+	AdmissionThrottled int64 // admissions revoked by per-identity rate accounting
+	AdmissionSolved    int64 // admission proofs this node minted as a sender
+	AdmissionWork      int64 // hash attempts spent minting those proofs
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d)",
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d) admission(required=%d admitted=%d replayed=%d throttled=%d solved=%d work=%d)",
 		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
 		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
@@ -68,7 +80,9 @@ func (s Stats) String() string {
 		s.ReportsAcked, s.ReportsRejected,
 		s.ReplBatches, s.ReplShipped, s.ReplApplied, s.ReplRepairs, s.ReplPulled,
 		s.PlacementAdopted, s.PlacementRejected, s.PlacementRedirects,
-		s.ShardsSealed, s.ShardsPulled)
+		s.ShardsSealed, s.ShardsPulled,
+		s.AdmissionRequired, s.AdmissionAdmitted, s.AdmissionReplayed,
+		s.AdmissionThrottled, s.AdmissionSolved, s.AdmissionWork)
 }
 
 // nodeStats is the atomic backing store.
@@ -90,6 +104,10 @@ type nodeStats struct {
 	placementRedirects                  atomic.Int64
 	ingestRejectedWrongOwner            atomic.Int64
 	shardsSealed, shardsPulled          atomic.Int64
+
+	admissionRequired, admissionAdmitted  atomic.Int64
+	admissionReplayed, admissionThrottled atomic.Int64
+	admissionSolved, admissionWork        atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters. Taking a snapshot also
@@ -132,6 +150,13 @@ func (n *Node) Stats() Stats {
 		IngestRejectedWrongOwner: n.stats.ingestRejectedWrongOwner.Load(),
 		ShardsSealed:             n.stats.shardsSealed.Load(),
 		ShardsPulled:             n.stats.shardsPulled.Load(),
+
+		AdmissionRequired:  n.stats.admissionRequired.Load(),
+		AdmissionAdmitted:  n.stats.admissionAdmitted.Load(),
+		AdmissionReplayed:  n.stats.admissionReplayed.Load(),
+		AdmissionThrottled: n.stats.admissionThrottled.Load(),
+		AdmissionSolved:    n.stats.admissionSolved.Load(),
+		AdmissionWork:      n.stats.admissionWork.Load(),
 	}
 }
 

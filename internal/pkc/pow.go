@@ -1,0 +1,95 @@
+package pkc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// This file implements the sybil-admission proof of work (DESIGN.md §13).
+// An agent running with an admission gate requires the FIRST report batch of
+// every identity to carry a solution: a nonce S such that
+//
+//	SHA-256("hirep/admission/v1" || nodeID || S)
+//
+// has at least `bits` leading zero bits. The digest binds the solution to the
+// reporter's self-certifying nodeID, so one solution cannot admit a second
+// identity — the whole point is that every sybil identity costs ~2^bits
+// hashes to activate, while verification is one hash. The solution has no
+// server-issued challenge: it is precomputable, which is fine because the
+// cost being bought is per-identity admission, not per-message freshness
+// (agents additionally remember spent solutions, so a revoked identity must
+// re-solve rather than replay).
+
+// AdmissionSolutionSize is the byte length of an admission solution. It
+// matches NonceSize so agents can track spent solutions in a ReplayCache.
+const AdmissionSolutionSize = NonceSize
+
+// MaxAdmissionBits bounds the difficulty a minter will attempt: beyond this a
+// demanded difficulty is treated as unsatisfiable (a malicious agent could
+// otherwise ask a reporter to burn 2^60 hashes).
+const MaxAdmissionBits = 30
+
+const admissionTag = "hirep/admission/v1"
+
+// admissionDigest hashes one candidate solution for id.
+func admissionDigest(id NodeID, sol []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(admissionTag))
+	h.Write(id[:])
+	h.Write(sol)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// leadingZeroBits counts the leading zero bits of d.
+func leadingZeroBits(d []byte) int {
+	n := 0
+	for _, b := range d {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		return n + bits.LeadingZeros8(b)
+	}
+	return n
+}
+
+// VerifyAdmission reports whether sol is a valid admission solution for id at
+// the given difficulty. Difficulties outside (0, 256] verify nothing.
+func VerifyAdmission(id NodeID, difficulty int, sol []byte) bool {
+	if difficulty <= 0 || difficulty > 256 || len(sol) != AdmissionSolutionSize {
+		return false
+	}
+	d := admissionDigest(id, sol)
+	return leadingZeroBits(d[:]) >= difficulty
+}
+
+// MintAdmission searches for an admission solution for id at the given
+// difficulty and returns it together with the number of hash attempts spent —
+// the attacker-cost unit of the campaign harness. The search space is seeded
+// from r (crypto/rand.Reader when nil) so concurrent minters do not collide,
+// with a counter in the low 8 bytes. Expected cost is 2^difficulty hashes.
+func MintAdmission(id NodeID, difficulty int, r io.Reader) (sol [AdmissionSolutionSize]byte, attempts uint64, err error) {
+	if difficulty <= 0 || difficulty > MaxAdmissionBits {
+		return sol, 0, fmt.Errorf("pkc: admission difficulty %d outside (0, %d]", difficulty, MaxAdmissionBits)
+	}
+	if r == nil {
+		r = rand.Reader
+	}
+	if _, err = io.ReadFull(r, sol[:8]); err != nil {
+		return sol, 0, err
+	}
+	for ctr := uint64(0); ; ctr++ {
+		binary.BigEndian.PutUint64(sol[8:], ctr)
+		attempts++
+		d := admissionDigest(id, sol[:])
+		if leadingZeroBits(d[:]) >= difficulty {
+			return sol, attempts, nil
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package pkc
+
+import (
+	"testing"
+)
+
+func TestAdmissionMintVerify(t *testing.T) {
+	id, err := NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, attempts, err := MintAdmission(id.ID, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts == 0 {
+		t.Fatal("mint reported zero attempts")
+	}
+	if !VerifyAdmission(id.ID, 10, sol[:]) {
+		t.Fatal("minted solution does not verify")
+	}
+	// A harder target must still be satisfied by luck only; an easier one
+	// always accepts the same solution.
+	if !VerifyAdmission(id.ID, 1, sol[:]) {
+		t.Fatal("easier difficulty rejected a valid solution")
+	}
+}
+
+func TestAdmissionSolutionBoundToID(t *testing.T) {
+	a, _ := NewIdentity(nil)
+	b, _ := NewIdentity(nil)
+	sol, _, err := MintAdmission(a.ID, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyAdmission(b.ID, 12, sol[:]) {
+		t.Fatal("solution minted for one identity admitted another")
+	}
+}
+
+func TestAdmissionRejectsMalformed(t *testing.T) {
+	id, _ := NewIdentity(nil)
+	sol, _, err := MintAdmission(id.ID, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyAdmission(id.ID, 8, sol[:AdmissionSolutionSize-1]) {
+		t.Fatal("short solution accepted")
+	}
+	if VerifyAdmission(id.ID, 0, sol[:]) {
+		t.Fatal("zero difficulty accepted")
+	}
+	if VerifyAdmission(id.ID, 257, sol[:]) {
+		t.Fatal("absurd difficulty accepted")
+	}
+	if _, _, err := MintAdmission(id.ID, MaxAdmissionBits+1, nil); err == nil {
+		t.Fatal("mint accepted difficulty beyond MaxAdmissionBits")
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want int
+	}{
+		{[]byte{0x80}, 0},
+		{[]byte{0x40}, 1},
+		{[]byte{0x01}, 7},
+		{[]byte{0x00, 0xff}, 8},
+		{[]byte{0x00, 0x00}, 16},
+	}
+	for _, c := range cases {
+		if got := leadingZeroBits(c.in); got != c.want {
+			t.Fatalf("leadingZeroBits(%x) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

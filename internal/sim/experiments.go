@@ -552,7 +552,7 @@ func Attacks(p Params) (ExpResult, error) {
 			return ExpResult{}, err
 		}
 		cfg := p.Hirep
-		sc.Mutate(&cfg)
+		sc.Apply(&cfg)
 		sys, err := core.NewSystem(w.Net, w.Oracle, cfg, xrand.New(seed))
 		if err != nil {
 			return ExpResult{}, err
@@ -563,12 +563,12 @@ func Attacks(p Params) (ExpResult, error) {
 		var n, good, goodN int
 		lastQuarter := p.Transactions * 3 / 4
 		dosAt := 0
-		if sc.DoSFrac > 0 {
+		if sc.Faults.KillHonestFrac > 0 {
 			dosAt = p.Transactions / 2
 		}
 		for t, spec := range w.Workload(p.Transactions, cfg.CandidatesPerTx) {
 			if dosAt > 0 && t == dosAt {
-				killed = len(sys.KillAgents(sc.DoSFrac))
+				killed = len(sys.KillAgents(sc.Faults.KillHonestFrac))
 			}
 			r := sys.RunTransaction(spec.Requestor, spec.Candidates)
 			if t >= lastQuarter {

@@ -61,6 +61,13 @@ func buildWorld(p Params, model topology.Model, degree int, seed int64) (*World,
 	return w, nil
 }
 
+// NewWorld constructs a replica world for external harnesses (the campaign
+// driver's sim backend builds its battlefield through it). Same determinism
+// contract as buildWorld.
+func NewWorld(p Params, model topology.Model, degree int, seed int64) (*World, error) {
+	return buildWorld(p, model, degree, seed)
+}
+
 // Workload derives the deterministic transaction sequence for this world.
 func (w *World) Workload(txns, candidatesPerTx int) []TxSpec {
 	rng := w.rng.Split("workload")

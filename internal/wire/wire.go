@@ -81,6 +81,14 @@ const (
 	// returns a per-report status through the reporter's reply onion —
 	// unlike the fire-and-forget TReport, rejected reports are visible to
 	// the sender instead of vanishing.
+	//
+	// Both frames grew trailing-optional admission fields (DESIGN.md §13),
+	// guarded by Decoder.More() for mixed-version compatibility: a batch may
+	// end with a proof-of-work solution (pkc.VerifyAdmission) admitting the
+	// reporter's identity, and an ack's signed part may end with the
+	// difficulty the agent demands (so StatusAdmissionRequired bounces tell
+	// the sender how much work to mint). Old decoders ignore the suffixes;
+	// new decoders treat their absence as "no solution" / "no gate".
 	TReportBatch
 	TReportBatchAck
 	// TPlacementReq / TPlacement exchange the overlay's signed placement map
