@@ -71,6 +71,17 @@
 //	hirepnode -listen 127.0.0.1:7001 -agent \
 //	          -admission-pow 18 -admission-rate 2.0 -admission-burst 512
 //
+// Serve verifiable reads (DESIGN.md §14) — an agent retains up to -evidence
+// signed report wires per subject and answers proof requests with
+// self-verifying bundles; -proof-cache memoizes the signed payloads, and
+// -snapshot-ttl bounds trust-snapshot (and cache-entry) freshness. A
+// non-agent node with -proof-cache set becomes an edge cache once pointed at
+// an upstream (node.ConfigureProofEdge), serving verifying bundles with zero
+// agent round trips on a hit:
+//
+//	hirepnode -listen 127.0.0.1:7001 -agent -store /var/lib/hirep \
+//	          -evidence 256 -proof-cache 1024 -snapshot-ttl 60s
+//
 // Run the full zero-config demonstration on loopback — an agent, a reporter,
 // a requestor, and a relay chain exchanging onion-routed trust traffic:
 //
@@ -144,6 +155,11 @@ func main() {
 		admissionPoW   = flag.Int("admission-pow", 0, "leading-zero bits demanded from an identity's first report (0 = gate off, max 30)")
 		admissionRate  = flag.Float64("admission-rate", 0, "per-identity admitted-report refill rate per second (0 = no rate accounting)")
 		admissionBurst = flag.Int("admission-burst", 0, "per-identity report burst before rate accounting revokes admission (0 = default 2x batch size)")
+
+		// Verifiable-read knobs (DESIGN.md §14).
+		evidence    = flag.Int("evidence", 0, "signed report wires retained per subject for proof bundles, agents only (0 = tallies only)")
+		proofCache  = flag.Int("proof-cache", 0, "proof payload cache entries (0 = no cache; required for edge-cache serving)")
+		snapshotTTL = flag.Duration("snapshot-ttl", 0, "trust-snapshot validity and proof-cache entry lifetime (0 = default 60s)")
 	)
 	flag.Parse()
 
@@ -168,6 +184,10 @@ func main() {
 	}
 	if (*group != "" || *storeShards != 0 || *handoffPeers != "") && !*agent {
 		fmt.Fprintln(os.Stderr, "hirepnode: -group/-store-shards/-handoff-peers require -agent")
+		os.Exit(2)
+	}
+	if *evidence != 0 && !*agent {
+		fmt.Fprintln(os.Stderr, "hirepnode: -evidence requires -agent")
 		os.Exit(2)
 	}
 	var replicaAddrs []string
@@ -237,6 +257,9 @@ func main() {
 		AdmissionPoWBits:    *admissionPoW,
 		AdmissionRate:       *admissionRate,
 		AdmissionBurst:      *admissionBurst,
+		EvidenceCap:         *evidence,
+		ProofCache:          *proofCache,
+		SnapshotTTL:         *snapshotTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -255,6 +278,9 @@ func main() {
 		}
 		if *group != "" {
 			role += ", overlay group " + *group
+		}
+		if *evidence > 0 {
+			role += fmt.Sprintf(", retaining %d report wires/subject", *evidence)
 		}
 	}
 	fmt.Printf("hirep node %s (%s) listening on %s\n", n.ID().Short(), role, n.Addr())

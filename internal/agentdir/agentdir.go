@@ -82,6 +82,14 @@ func parseReportWire(b []byte) (subject pkc.NodeID, positive bool, nonce pkc.Non
 	return subject, positive, nonce, b[:bodyLen], b[bodyLen:], nil
 }
 
+// ParseReportWire splits a signed report wire into its fields without
+// verifying anything — the parsing half of the proof-bundle verifier
+// (internal/proof), which re-checks retained evidence signatures itself.
+// body and sig alias wire.
+func ParseReportWire(wire []byte) (subject pkc.NodeID, positive bool, nonce pkc.Nonce, body, sig []byte, err error) {
+	return parseReportWire(wire)
+}
+
 // Agent is a trusted reputation agent. Safe for concurrent use (the live
 // node serves many peers at once). Report/tally state lives in a
 // repstore.Store — sharded in memory for the simulator, WAL-backed on disk
@@ -199,7 +207,9 @@ func (a *Agent) SubmitReport(reporter pkc.NodeID, wire []byte) (Report, error) {
 	if !a.replays.Observe(nonce) {
 		return Report{}, ErrReplayedReport
 	}
-	rec := repstore.Record{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce}
+	// SP and Wire ride along as evidence; the store retains them only when
+	// its evidence log is armed (repstore.Options.EvidenceCap).
+	rec := repstore.Record{Reporter: reporter, Subject: subject, Positive: positive, Nonce: nonce, SP: sp, Wire: wire}
 	if err := a.store.Append(rec); err != nil {
 		// The report was rejected, not stored: release its nonce so a
 		// legitimate retry of the same signed report is not misclassified as
@@ -286,7 +296,7 @@ func (a *Agent) SubmitReportBatch(reporter pkc.NodeID, wires [][]byte) ([]Report
 			errs[p.idx] = ErrReplayedReport
 			continue
 		}
-		rec := repstore.Record{Reporter: reporter, Subject: p.subject, Positive: p.positive, Nonce: p.nonce}
+		rec := repstore.Record{Reporter: reporter, Subject: p.subject, Positive: p.positive, Nonce: p.nonce, SP: sp, Wire: wires[p.idx]}
 		if err := a.store.Append(rec); err != nil {
 			// Rejected, not stored: release the nonce so a retry of the same
 			// signed report is not misclassified as a replay (see SubmitReport).

@@ -26,6 +26,7 @@ import (
 	"hirep/internal/metrics"
 	"hirep/internal/onion"
 	"hirep/internal/pkc"
+	"hirep/internal/proof"
 	"hirep/internal/repstore"
 	"hirep/internal/resilience"
 	"hirep/internal/transport"
@@ -176,6 +177,20 @@ type Options struct {
 	// cannot burn unbounded sender CPU. Harder demands leave the reports
 	// deferred in the outbox.
 	AdmissionSolveLimit int
+	// EvidenceCap, when positive on an agent, retains up to that many signed
+	// report wires per subject in the report store — the evidence log behind
+	// the verifiable-read subsystem (DESIGN.md §14). 0 keeps tallies only;
+	// proof bundles then verify Partial rather than Matching. Requires Agent.
+	EvidenceCap int
+	// ProofCache, when positive, bounds the node's proof payload cache
+	// (entries, FIFO). On an agent it memoizes assembled bundles/snapshots;
+	// on a non-agent configured with ConfigureProofEdge it is the edge cache
+	// that serves verifiable reads with zero agent round trips on a hit.
+	ProofCache int
+	// SnapshotTTL bounds trust-snapshot validity and proof-cache entry
+	// lifetime (default 60s) — the only freshness an untrusted cache can
+	// degrade.
+	SnapshotTTL time.Duration
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -231,6 +246,16 @@ type Node struct {
 	// Routed-overlay placement state (overlay.go): the adopted signed shard
 	// map, this node's group membership, and in-progress handoff seals.
 	place *placement
+
+	// Verifiable-read plumbing (proof.go): outstanding proof requests, the
+	// payload cache, the edge-forwarding config, and the audit harness's
+	// tamper hook.
+	pendingProofs map[pkc.Nonce]*proofWait
+	proofCache    *proofCache
+	proofMu       sync.Mutex
+	proofTamper   func(*proof.Bundle)
+	edgeUpstream  AgentInfo
+	edgeOnion     *onion.Onion
 
 	// Transport plumbing: the outbound connection pool, the inbound session
 	// gate, and the per-message-type frame counters (transport.go in this
@@ -364,8 +389,14 @@ func Listen(addr string, opts Options) (*Node, error) {
 	if opts.AdmissionBurst <= 0 {
 		opts.AdmissionBurst = 2 * opts.ReportBatchSize
 	}
+	if opts.SnapshotTTL <= 0 {
+		opts.SnapshotTTL = defaultSnapshotTTL
+	}
 	if len(opts.Replicas) > 0 && !opts.Agent {
 		return nil, fmt.Errorf("node: Replicas requires Agent")
+	}
+	if opts.EvidenceCap > 0 && !opts.Agent {
+		return nil, fmt.Errorf("node: EvidenceCap requires Agent")
 	}
 	id, err := pkc.NewIdentity(nil)
 	if err != nil {
@@ -384,6 +415,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 		pending:       make(map[pkc.Nonce]chan trustResponse),
 		pendingAcks:   make(map[pkc.Nonce]*batchAckWait),
 		pendingStatus: make(map[pkc.Nonce]chan ReplStatus),
+		pendingProofs: make(map[pkc.Nonce]*proofWait),
 		dialer:        opts.Dialer,
 		reg:           opts.Metrics,
 		flushCh:       make(chan struct{}, 1),
@@ -391,6 +423,9 @@ func Listen(addr string, opts Options) (*Node, error) {
 		sessionSem:    make(chan struct{}, opts.MaxSessions),
 	}
 	n.place = newPlacement(opts)
+	if opts.ProofCache > 0 {
+		n.proofCache = newProofCache(opts.ProofCache, opts.SnapshotTTL)
+	}
 	if n.dialer == nil {
 		n.dialer = resilience.NetDialer("tcp")
 	}
@@ -431,7 +466,7 @@ func Listen(addr string, opts Options) (*Node, error) {
 			}
 			hook = n.repl.onCommit
 		}
-		st, err := repstore.Open(opts.StoreDir, repstore.Options{OnCommit: hook, Shards: opts.StoreShards})
+		st, err := repstore.Open(opts.StoreDir, repstore.Options{OnCommit: hook, Shards: opts.StoreShards, EvidenceCap: opts.EvidenceCap})
 		if err != nil {
 			ln.Close()
 			n.outbox.Close()
@@ -623,6 +658,10 @@ func (n *Node) handleOnion(payload []byte) {
 		n.handleReportBatch(inner)
 	case wire.TReportBatchAck:
 		n.handleReportBatchAck(inner)
+	case wire.TProofReq:
+		n.handleProofReq(inner)
+	case wire.TProofResp:
+		n.handleProofResp(inner)
 	}
 }
 

@@ -79,6 +79,15 @@ type resilienceCounters struct {
 	admissionSolved    *metrics.Counter
 	admissionWork      *metrics.Counter
 
+	// Verifiable reads (DESIGN.md §14): proofs served and verified, caught
+	// lies, and the proof payload cache's hit ratio.
+	proofsServed     *metrics.Counter
+	proofsVerified   *metrics.Counter
+	proofsPartial    *metrics.Counter
+	proofsLying      *metrics.Counter
+	proofCacheHits   *metrics.Counter
+	proofCacheMisses *metrics.Counter
+
 	// Agent report-store health, mirrored from repstore by
 	// updateStoreHealth so shutdown dumps and scrapes see WAL growth and
 	// compaction trouble.
@@ -123,6 +132,12 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.admissionThrottled = r.Counter("node_admission_throttled_total")
 	c.admissionSolved = r.Counter("node_admission_solved_total")
 	c.admissionWork = r.Counter("node_admission_work_total")
+	c.proofsServed = r.Counter("node_proofs_served_total")
+	c.proofsVerified = r.Counter("node_proofs_verified_total")
+	c.proofsPartial = r.Counter("node_proofs_partial_total")
+	c.proofsLying = r.Counter("node_proofs_lying_total")
+	c.proofCacheHits = r.Counter("node_proof_cache_hits_total")
+	c.proofCacheMisses = r.Counter("node_proof_cache_misses_total")
 	c.storeWALBytes = r.Gauge("node_store_wal_bytes")
 	c.storeCompactFailures = r.Gauge("node_store_compact_failures")
 	c.storeCompactErr = r.Gauge("node_store_compact_err")

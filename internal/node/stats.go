@@ -65,11 +65,22 @@ type Stats struct {
 	AdmissionThrottled int64 // admissions revoked by per-identity rate accounting
 	AdmissionSolved    int64 // admission proofs this node minted as a sender
 	AdmissionWork      int64 // hash attempts spent minting those proofs
+
+	// Verifiable reads (DESIGN.md §14). Served counts proof payloads
+	// answered (agent assembly or edge cache); Verified/Partial/Lying are
+	// client-side verdicts on bundles this node fetched and checked; the
+	// cache counters track the proof payload cache on agents and edges.
+	ProofsServed     int64 // proof bundles/snapshots served (agent or edge)
+	ProofsVerified   int64 // bundles fetched and verified by this node
+	ProofsPartial    int64 // verified bundles carrying declared-incomplete evidence
+	ProofsLying      int64 // verified bundles proving their agent lied
+	ProofCacheHits   int64 // proof payloads served straight from cache
+	ProofCacheMisses int64 // proof requests that had to assemble or forward
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d) admission(required=%d admitted=%d replayed=%d throttled=%d solved=%d work=%d)",
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d) admission(required=%d admitted=%d replayed=%d throttled=%d solved=%d work=%d) proof(served=%d verified=%d partial=%d lying=%d cachehit=%d cachemiss=%d)",
 		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
 		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
@@ -82,7 +93,9 @@ func (s Stats) String() string {
 		s.PlacementAdopted, s.PlacementRejected, s.PlacementRedirects,
 		s.ShardsSealed, s.ShardsPulled,
 		s.AdmissionRequired, s.AdmissionAdmitted, s.AdmissionReplayed,
-		s.AdmissionThrottled, s.AdmissionSolved, s.AdmissionWork)
+		s.AdmissionThrottled, s.AdmissionSolved, s.AdmissionWork,
+		s.ProofsServed, s.ProofsVerified, s.ProofsPartial, s.ProofsLying,
+		s.ProofCacheHits, s.ProofCacheMisses)
 }
 
 // nodeStats is the atomic backing store.
@@ -108,6 +121,10 @@ type nodeStats struct {
 	admissionRequired, admissionAdmitted  atomic.Int64
 	admissionReplayed, admissionThrottled atomic.Int64
 	admissionSolved, admissionWork        atomic.Int64
+
+	proofsServed, proofsVerified     atomic.Int64
+	proofsPartial, proofsLying       atomic.Int64
+	proofCacheHits, proofCacheMisses atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters. Taking a snapshot also
@@ -157,6 +174,13 @@ func (n *Node) Stats() Stats {
 		AdmissionThrottled: n.stats.admissionThrottled.Load(),
 		AdmissionSolved:    n.stats.admissionSolved.Load(),
 		AdmissionWork:      n.stats.admissionWork.Load(),
+
+		ProofsServed:     n.stats.proofsServed.Load(),
+		ProofsVerified:   n.stats.proofsVerified.Load(),
+		ProofsPartial:    n.stats.proofsPartial.Load(),
+		ProofsLying:      n.stats.proofsLying.Load(),
+		ProofCacheHits:   n.stats.proofCacheHits.Load(),
+		ProofCacheMisses: n.stats.proofCacheMisses.Load(),
 	}
 }
 

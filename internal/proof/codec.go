@@ -1,0 +1,119 @@
+package proof
+
+import (
+	"hirep/internal/pkc"
+	"hirep/internal/wire"
+)
+
+// Bundle wire layout (wire.Encoder fields, DESIGN.md §14):
+//
+//	subject | u64 pos | u64 neg | u64 epoch | u64 partial(0|1) |
+//	u64 evidence count | (reporter | sp | wire)* |
+//	u64 lineage count  | (old | new)* |
+//	agentSP | agentSig
+//
+// The encoding is canonical: decode rejects anything a re-encode would not
+// reproduce byte-identically (the fuzz contract), so a bundle has exactly
+// one wire form and caches can deduplicate by bytes.
+
+// Field bounds, mirroring repstore's evidence limits plus Ed25519 sizes.
+const (
+	maxCodecKey  = 255
+	maxCodecWire = 4096
+	maxCodecSig  = 255
+)
+
+// Encode serializes the bundle.
+func (b *Bundle) Encode() []byte {
+	var e wire.Encoder
+	e.Bytes(b.Subject[:]).U64(b.Pos).U64(b.Neg).U64(b.Epoch)
+	if b.Partial {
+		e.U64(1)
+	} else {
+		e.U64(0)
+	}
+	e.U64(uint64(len(b.Evidence)))
+	for _, ev := range b.Evidence {
+		e.Bytes(ev.Reporter[:]).Bytes(ev.SP).Bytes(ev.Wire)
+	}
+	e.U64(uint64(len(b.Lineage)))
+	for _, l := range b.Lineage {
+		e.Bytes(l[0][:]).Bytes(l[1][:])
+	}
+	e.Bytes(b.AgentSP).Bytes(b.AgentSig)
+	return e.Encode()
+}
+
+// decodeID reads one exact-size node ID field.
+func decodeID(d *wire.Decoder, id *pkc.NodeID) bool {
+	f := d.Bytes()
+	if len(f) != pkc.NodeIDSize {
+		return false
+	}
+	copy(id[:], f)
+	return true
+}
+
+// DecodeBundle parses an encoded bundle. It validates structure and bounds
+// only — Verify holds the cryptographic judgment.
+func DecodeBundle(p []byte) (*Bundle, error) {
+	d := wire.NewDecoder(p)
+	b := &Bundle{}
+	if !decodeID(d, &b.Subject) {
+		return nil, ErrCorrupt
+	}
+	b.Pos, b.Neg, b.Epoch = d.U64(), d.U64(), d.U64()
+	switch d.U64() {
+	case 0:
+	case 1:
+		b.Partial = true
+	default:
+		return nil, ErrCorrupt
+	}
+	nev := d.U64()
+	if d.Err() != nil || nev > uint64(len(p)) { // each entry costs > 1 byte
+		return nil, ErrCorrupt
+	}
+	b.Evidence = make([]Evidence, 0, min(int(nev), 4096))
+	for i := uint64(0); i < nev; i++ {
+		var ev Evidence
+		if !decodeID(d, &ev.Reporter) {
+			return nil, ErrCorrupt
+		}
+		sp, w := d.Bytes(), d.Bytes()
+		if len(sp) == 0 || len(sp) > maxCodecKey || len(w) == 0 || len(w) > maxCodecWire {
+			return nil, ErrCorrupt
+		}
+		ev.SP = append([]byte(nil), sp...)
+		ev.Wire = append([]byte(nil), w...)
+		b.Evidence = append(b.Evidence, ev)
+	}
+	nln := d.U64()
+	if d.Err() != nil || nln > uint64(len(p)) {
+		return nil, ErrCorrupt
+	}
+	b.Lineage = make([][2]pkc.NodeID, 0, min(int(nln), 4096))
+	for i := uint64(0); i < nln; i++ {
+		var l [2]pkc.NodeID
+		if !decodeID(d, &l[0]) || !decodeID(d, &l[1]) {
+			return nil, ErrCorrupt
+		}
+		b.Lineage = append(b.Lineage, l)
+	}
+	sp, sig := d.Bytes(), d.Bytes()
+	if len(sp) == 0 || len(sp) > maxCodecKey || len(sig) == 0 || len(sig) > maxCodecSig {
+		return nil, ErrCorrupt
+	}
+	b.AgentSP = append([]byte(nil), sp...)
+	b.AgentSig = append([]byte(nil), sig...)
+	if err := d.Finish(); err != nil {
+		return nil, ErrCorrupt
+	}
+	if len(b.Evidence) == 0 {
+		b.Evidence = nil
+	}
+	if len(b.Lineage) == 0 {
+		b.Lineage = nil
+	}
+	return b, nil
+}

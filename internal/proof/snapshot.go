@@ -1,0 +1,103 @@
+package proof
+
+import (
+	"crypto/ed25519"
+
+	"hirep/internal/pkc"
+	"hirep/internal/trust"
+	"hirep/internal/wire"
+)
+
+// TrustSnapshot is the compact, cache-friendly derivative of a bundle: a
+// TTL'd signed {subject, tally, epoch} record. It carries no evidence — the
+// querier takes the tally on the agent's signature, exactly the trust model
+// of a classic RequestTrust answer — but unlike that answer it is portable:
+// any edge can re-serve it to anyone until it expires, and the signature
+// pins it to the issuing agent. The raw tally travels instead of the float
+// trust value so the encoding is exact; Trust() derives the Laplace score.
+//
+// Wire layout (canonical, like the bundle):
+//
+//	subject | u64 pos | u64 neg | u64 epoch | u64 expires | agentSP | sig
+type TrustSnapshot struct {
+	Subject  pkc.NodeID
+	Pos, Neg uint64
+	Epoch    uint64
+	// Expires is the last Unix second the snapshot is valid. The TTL bounds
+	// an edge's only remaining lie: serving stale reputation.
+	Expires  uint64
+	AgentSP  []byte
+	AgentSig []byte
+}
+
+// AgentID returns the node ID of the agent that signed the snapshot.
+func (ts *TrustSnapshot) AgentID() pkc.NodeID { return pkc.DeriveNodeID(ts.AgentSP) }
+
+// Trust derives the Laplace-smoothed positive fraction (p+1)/(p+n+2).
+func (ts *TrustSnapshot) Trust() trust.Value {
+	return trust.Value(float64(ts.Pos+1) / float64(ts.Pos+ts.Neg+2))
+}
+
+// signedPart builds the byte string AgentSig covers.
+func (ts *TrustSnapshot) signedPart() []byte {
+	var e wire.Encoder
+	e.Bytes(snapSigPrefix).Bytes(ts.Subject[:]).U64(ts.Pos).U64(ts.Neg).U64(ts.Epoch).U64(ts.Expires)
+	return e.Encode()
+}
+
+// NewTrustSnapshot issues a signed snapshot as agent.
+func NewTrustSnapshot(agent *pkc.Identity, subject pkc.NodeID, pos, neg, epoch, expires uint64) *TrustSnapshot {
+	ts := &TrustSnapshot{Subject: subject, Pos: pos, Neg: neg, Epoch: epoch, Expires: expires}
+	ts.AgentSP = append([]byte(nil), agent.Sign.Public...)
+	ts.AgentSig = agent.SignMessage(ts.signedPart())
+	return ts
+}
+
+// SnapshotFromBundle derives a snapshot from an assembled bundle, signed by
+// the same agent.
+func SnapshotFromBundle(agent *pkc.Identity, b *Bundle, expires uint64) *TrustSnapshot {
+	return NewTrustSnapshot(agent, b.Subject, b.Pos, b.Neg, b.Epoch, expires)
+}
+
+// Verify checks the snapshot's signature and TTL against now (Unix
+// seconds). ErrUnverifiable means the signature does not hold; ErrExpired
+// that an otherwise-valid snapshot is past its window.
+func (ts *TrustSnapshot) Verify(now uint64) error {
+	if len(ts.AgentSP) != ed25519.PublicKeySize ||
+		!pkc.Verify(ts.AgentSP, ts.signedPart(), ts.AgentSig) {
+		return ErrUnverifiable
+	}
+	if now > ts.Expires {
+		return ErrExpired
+	}
+	return nil
+}
+
+// Encode serializes the snapshot.
+func (ts *TrustSnapshot) Encode() []byte {
+	var e wire.Encoder
+	e.Bytes(ts.Subject[:]).U64(ts.Pos).U64(ts.Neg).U64(ts.Epoch).U64(ts.Expires)
+	e.Bytes(ts.AgentSP).Bytes(ts.AgentSig)
+	return e.Encode()
+}
+
+// DecodeTrustSnapshot parses an encoded snapshot. Structure and bounds only;
+// Verify holds the cryptographic judgment.
+func DecodeTrustSnapshot(p []byte) (*TrustSnapshot, error) {
+	d := wire.NewDecoder(p)
+	ts := &TrustSnapshot{}
+	if !decodeID(d, &ts.Subject) {
+		return nil, ErrCorrupt
+	}
+	ts.Pos, ts.Neg, ts.Epoch, ts.Expires = d.U64(), d.U64(), d.U64(), d.U64()
+	sp, sig := d.Bytes(), d.Bytes()
+	if len(sp) == 0 || len(sp) > maxCodecKey || len(sig) == 0 || len(sig) > maxCodecSig {
+		return nil, ErrCorrupt
+	}
+	ts.AgentSP = append([]byte(nil), sp...)
+	ts.AgentSig = append([]byte(nil), sig...)
+	if err := d.Finish(); err != nil {
+		return nil, ErrCorrupt
+	}
+	return ts, nil
+}

@@ -49,6 +49,55 @@ func BenchmarkRepstoreIngest(b *testing.B) {
 	})
 }
 
+// benchEvidenceRecord is benchRecord carrying evidence bytes of realistic
+// size — a 32-byte Ed25519 key and a 101-byte signed report wire. Both sides
+// of the evidence A/B benchmark ingest identical records; EvidenceCap alone
+// decides whether the wires are retained.
+func benchEvidenceRecord(i int, sp, wire []byte) Record {
+	r := benchRecord(i)
+	r.SP, r.Wire = sp, wire
+	return r
+}
+
+// BenchmarkRepstoreIngestEvidence is the §14 retention-overhead gate pair:
+// identical fsync group-commit ingest (the configuration a durable agent
+// actually runs) with the evidence log off versus on. verify.sh holds the
+// on/off ratio down: against real commit latency, retaining the ~133 extra
+// evidence bytes per record must stay a small constant tax. The NoSync pair
+// would not pass such a gate — with fsync removed, ingest is pure memcpy and
+// retention's 3x byte volume shows at full scale — which is why the gate is
+// defined over the durable path.
+func BenchmarkRepstoreIngestEvidence(b *testing.B) {
+	sp := make([]byte, 32)
+	wire := make([]byte, 101)
+	for i := range wire {
+		wire[i] = byte(i)
+	}
+	run := func(b *testing.B, opts Options) {
+		s, err := Open(b.TempDir(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		var ctr atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(ctr.Add(1))
+				if err := s.Append(benchEvidenceRecord(i, sp, wire)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, Options{CompactAfter: -1})
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, Options{CompactAfter: -1, EvidenceCap: 256})
+	})
+}
+
 // BenchmarkRepstoreQuery measures concurrent TrustValue reads against a
 // store preloaded with 64k reports over 1k subjects.
 func BenchmarkRepstoreQuery(b *testing.B) {

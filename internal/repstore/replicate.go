@@ -27,6 +27,15 @@ import (
 // holding the same state produce byte-identical exports and therefore equal
 // CRCs — which is what lets a digest comparison stand in for a full state
 // transfer.
+//
+// When the exporting store holds verifiable-read state (DESIGN.md §14) the
+// export carries a trailing lineage + evidence section pair (layouts in
+// evidence.go, subjects and links ascending). The digest CRC deliberately
+// covers only the tally body above: evidence retention is a per-store
+// configuration choice, and a primary with the evidence log on must still
+// digest-match a replica running without it — anti-entropy compares counts,
+// never retention policy. A decoder finding no bytes after the tally body
+// reads an evidence-free export, which is also what pre-§14 stores produce.
 
 // ShardDigest summarizes one shard for anti-entropy comparison. CRC is the
 // CRC32C of the shard's canonical encoding and is the ground truth for
@@ -67,30 +76,47 @@ func (s *Store) shardDigest(i int) ShardDigest {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if !sh.digValid {
-		sh.digCRC = crc32.Checksum(encodeShardLocked(sh), crcTable)
+		body, _ := encodeShardLocked(sh)
+		sh.digCRC = crc32.Checksum(body, crcTable)
 		sh.digValid = true
 	}
 	return ShardDigest{CRC: sh.digCRC, Version: sh.version}
 }
 
-// ExportShard serializes one shard — version header plus canonical body —
-// for an anti-entropy repair transfer.
+// ExportShard serializes one shard — version header plus canonical body,
+// plus the trailing lineage/evidence sections when the store holds any — for
+// an anti-entropy repair or handoff transfer.
 func (s *Store) ExportShard(i int) []byte {
 	if i < 0 || i >= len(s.shards) {
 		return nil
 	}
+	links := s.LineageLinks() // before the shard lock; lineMu is independent
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	body := encodeShardLocked(sh)
+	body, subjects := encodeShardLocked(sh)
 	out := make([]byte, 0, 8+len(body))
 	out = binary.LittleEndian.AppendUint64(out, sh.version)
-	return append(out, body...)
+	out = append(out, body...)
+	hasEv := false
+	for _, st := range sh.subjects {
+		if len(st.ev) > 0 || st.evTrunc {
+			hasEv = true
+			break
+		}
+	}
+	if hasEv || len(links) > 0 {
+		out = appendLineageSection(out, links)
+		out = appendEvidenceSection(out, subjects, func(id pkc.NodeID) *subjectState {
+			return sh.subjects[id]
+		})
+	}
+	return out
 }
 
-// encodeShardLocked produces the canonical (sorted) body of a shard. Caller
-// holds the shard lock.
-func encodeShardLocked(sh *shard) []byte {
+// encodeShardLocked produces the canonical (sorted) body of a shard and the
+// sorted subject order it used. Caller holds the shard lock.
+func encodeShardLocked(sh *shard) ([]byte, []pkc.NodeID) {
 	subjects := make([]pkc.NodeID, 0, len(sh.subjects))
 	for subject := range sh.subjects {
 		subjects = append(subjects, subject)
@@ -119,7 +145,7 @@ func encodeShardLocked(sh *shard) []byte {
 			body = binary.LittleEndian.AppendUint32(body, rt.neg)
 		}
 	}
-	return body
+	return body, subjects
 }
 
 // SealShard marks shard i sealed for a handoff: every subsequent Append (or
@@ -180,14 +206,16 @@ func (s *Store) ImportShard(i int, data []byte) error {
 		return fmt.Errorf("%w: short shard export", ErrCorruptRecord)
 	}
 	version := binary.LittleEndian.Uint64(data[:8])
-	subjects, err := s.decodeShardBody(i, data[8:])
+	subjects, links, err := s.decodeShardBody(i, data[8:])
 	if err != nil {
 		return err
 	}
 	newTotal := int64(0)
 	for _, st := range subjects {
 		newTotal += int64(st.pos + st.neg)
+		s.normalizeEvidence(st)
 	}
+	s.addLineage(links)
 	// Treated as a mutation for snapshot purposes: Snapshot (applyMu held
 	// exclusively) must never observe a half-swapped shard.
 	s.applyMu.RLock()
@@ -229,14 +257,16 @@ func (s *Store) MergeShard(i int, epoch uint64, data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("%w: short shard export", ErrCorruptRecord)
 	}
-	incoming, err := s.decodeShardBody(i, data[8:])
+	incoming, links, err := s.decodeShardBody(i, data[8:])
 	if err != nil {
 		return err
 	}
 	added := int64(0)
 	for _, st := range incoming {
 		added += int64(st.pos + st.neg)
+		s.normalizeEvidence(st)
 	}
+	s.addLineage(links)
 	s.applyMu.RLock()
 	defer s.applyMu.RUnlock()
 	// Mark before applying (nothing after the decode can fail), under its own
@@ -265,6 +295,11 @@ func (s *Store) MergeShard(i int, epoch uint64, data []byte) error {
 			cur.neg += rt.neg
 			st.reporters[rep] = cur
 		}
+		if len(in.ev) > 0 || in.evTrunc {
+			st.ev = append(st.ev, in.ev...)
+			st.evTrunc = st.evTrunc || in.evTrunc
+			st.trimEvidence(s.opts.EvidenceCap)
+		}
 	}
 	sh.version++
 	sh.digValid = false
@@ -274,8 +309,10 @@ func (s *Store) MergeShard(i int, epoch uint64, data []byte) error {
 }
 
 // decodeShardBody parses a canonical shard body, verifying every subject
-// routes to shard i.
-func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectState, error) {
+// routes to shard i. Bytes after the tally part are the optional lineage +
+// evidence sections; evidence is attached to the decoded subject states, and
+// the lineage links are returned for the caller to fold in.
+func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectState, [][2]pkc.NodeID, error) {
 	d := snapReader{buf: body}
 	count := d.u32()
 	subjects := make(map[pkc.NodeID]*subjectState, min(int(count), 4096))
@@ -295,25 +332,38 @@ func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectStat
 			copy(rep[:], d.take(pkc.NodeIDSize))
 			rt := reporterTally{pos: d.u32(), neg: d.u32()}
 			if d.err != nil {
-				return nil, d.err
+				return nil, nil, d.err
 			}
 			st.reporters[rep] = rt
 		}
 		if d.err != nil {
-			return nil, d.err
+			return nil, nil, d.err
 		}
 		if s.shardIndex(subject) != uint64(i) {
-			return nil, fmt.Errorf("%w: subject routed to wrong shard", ErrCorruptRecord)
+			return nil, nil, fmt.Errorf("%w: subject routed to wrong shard", ErrCorruptRecord)
 		}
 		subjects[subject] = st
 	}
+	var links [][2]pkc.NodeID
+	if d.err == nil && d.off < len(d.buf) {
+		links = decodeLineageSection(&d)
+		decodeEvidenceSection(&d, func(subject pkc.NodeID, evs []evrec, truncated bool) bool {
+			st := subjects[subject]
+			if st == nil {
+				return false // evidence for a subject the tally part never named
+			}
+			st.ev = evs
+			st.evTrunc = truncated
+			return true
+		})
+	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, nil, d.err
 	}
 	if d.off != len(d.buf) {
-		return nil, fmt.Errorf("%w: trailing bytes in shard export", ErrCorruptRecord)
+		return nil, nil, fmt.Errorf("%w: trailing bytes in shard export", ErrCorruptRecord)
 	}
-	return subjects, nil
+	return subjects, links, nil
 }
 
 // ApplyBatch ingests one replicated group-commit batch — the exact framed
@@ -350,19 +400,12 @@ func (s *Store) ApplyBatch(batch []byte) (int, error) {
 
 // Range calls fn for every subject with state, in no particular order,
 // stopping early when fn returns false. The tally passed is the subject's
-// aggregate positive/negative count.
+// aggregate positive/negative count. Kept as a thin adapter over Subjects
+// (evidence.go), the shared iterator surface.
 func (s *Store) Range(fn func(subject pkc.NodeID, pos, neg int) bool) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for subject, st := range sh.subjects {
-			if !fn(subject, st.pos, st.neg) {
-				sh.mu.RUnlock()
-				return
-			}
-		}
-		sh.mu.RUnlock()
-	}
+	s.Subjects(func(stat SubjectStat) bool {
+		return fn(stat.Subject, stat.Pos, stat.Neg)
+	})
 }
 
 // SyncPoint runs fn with the store quiescent: no append, merge, replicated

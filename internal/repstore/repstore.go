@@ -64,6 +64,13 @@ type Options struct {
 	// active log file exceeds this many bytes. 0 picks the default (4 MiB);
 	// negative disables auto-compaction.
 	CompactAfter int64
+	// EvidenceCap, when positive, arms the evidence log (DESIGN.md §14): each
+	// accepted report's signed wire bytes and reporter key are retained
+	// alongside the tally, up to this many records per subject. Overflow
+	// drops the oldest evidence and marks the subject's evidence truncated,
+	// so a proof bundle built from it is honestly labeled partial. 0 (the
+	// default) retains nothing — tallies only, the pre-§14 behavior.
+	EvidenceCap int
 	// OnCommit, when set, is invoked with every committed batch of framed
 	// operations (the WAL frame encoding, parseable by ApplyBatch) after the
 	// batch is durable and applied. For a WAL-backed store a batch is one
@@ -87,6 +94,14 @@ type Record struct {
 	// Nonce is the report's replay nonce. The store persists it so an agent
 	// reopening the WAL can re-seed its replay cache with the tail's nonces.
 	Nonce pkc.Nonce
+	// SP and Wire, when both non-empty on a store opened with EvidenceCap >
+	// 0, are retained as the report's evidence: the reporter's public signing
+	// key and the full signed report wire (agentdir formats — the store
+	// treats both as opaque bytes). A proof assembler later re-serves them so
+	// anyone can re-verify the signature and recompute the tally. Ignored
+	// when the evidence log is off.
+	SP   []byte
+	Wire []byte
 }
 
 // reporterTally is one reporter's contribution to a subject.
@@ -94,10 +109,25 @@ type reporterTally struct {
 	pos, neg uint32
 }
 
-// subjectState is everything known about one subject.
+// evrec is one retained piece of evidence: the signed report wire plus the
+// reporter key it verifies under, exactly as ingested. The byte slices are
+// immutable once stored, so readers may share them without copying.
+type evrec struct {
+	reporter pkc.NodeID
+	sp       []byte
+	wire     []byte
+}
+
+// subjectState is everything known about one subject. ev holds the retained
+// evidence in ingest order (oldest first); evTrunc records that evidence was
+// ever dropped — by the retention cap or by merging in tallies that arrived
+// without evidence — so a proof built from this state must present itself as
+// partial rather than claim completeness.
 type subjectState struct {
 	pos, neg  int
 	reporters map[pkc.NodeID]reporterTally
+	ev        []evrec
+	evTrunc   bool
 }
 
 // shard is one lock domain of the subject table. version counts the ops
@@ -151,6 +181,14 @@ type Store struct {
 	mergedMu sync.Mutex
 	merged   map[mergeMark]bool
 
+	// lineage records every identity Merge the store has applied, old → new,
+	// for auditors: a proof bundle spanning a §3.5 key rotation carries
+	// evidence signed over the old subject ID, and the verifier needs the
+	// link to accept it against the new ID's tally. Persisted in the
+	// snapshot; WAL replay of the merge ops rebuilds the tail.
+	lineMu  sync.Mutex
+	lineage map[pkc.NodeID]pkc.NodeID
+
 	dir       string // "" for memory-only
 	wal       *wal   // nil for memory-only
 	recovered []pkc.Nonce
@@ -177,7 +215,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		n &= n - 1
 		n <<= 1
 	}
-	s := &Store{opts: opts, mask: uint64(n - 1), shards: make([]shard, n), dir: dir, merged: make(map[mergeMark]bool)}
+	s := &Store{opts: opts, mask: uint64(n - 1), shards: make([]shard, n), dir: dir,
+		merged: make(map[mergeMark]bool), lineage: make(map[pkc.NodeID]pkc.NodeID)}
 	for i := range s.shards {
 		s.shards[i].subjects = make(map[pkc.NodeID]*subjectState)
 	}
@@ -254,7 +293,7 @@ func liveWALEpochs(dir string, floor uint64) ([]uint64, error) {
 func (s *Store) replayOps(ops []walOp) {
 	for _, op := range ops {
 		s.applyOp(op)
-		if op.kind == kindReport {
+		if op.kind == kindReport || op.kind == kindReportEv {
 			s.recovered = append(s.recovered, op.rec.Nonce)
 		}
 	}
@@ -295,13 +334,24 @@ func (s *Store) Append(r Record) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	op := walOp{kind: kindReport, rec: r}
+	op.rec.SP, op.rec.Wire = nil, nil
+	if s.opts.EvidenceCap > 0 && len(r.SP) > 0 && len(r.Wire) > 0 {
+		if len(r.SP) > maxEvidenceKey || len(r.Wire) > maxEvidenceWire {
+			return ErrRecordTooLarge
+		}
+		// Copy: the caller's slices may alias a network buffer it reuses,
+		// and the store retains evidence indefinitely.
+		op.kind = kindReportEv
+		op.rec.SP = append([]byte(nil), r.SP...)
+		op.rec.Wire = append([]byte(nil), r.Wire...)
+	}
 	s.applyMu.RLock()
 	if s.shards[s.shardIndex(r.Subject)].sealed {
 		s.applyMu.RUnlock()
 		return ErrShardSealed
 	}
 	var err error
-	op := walOp{kind: kindReport, rec: r}
 	if s.wal == nil {
 		s.applyOp(op)
 		s.emitOp(op)
@@ -367,7 +417,7 @@ func (s *Store) emitOp(op walOp) {
 // applyOp applies one operation to the in-memory state.
 func (s *Store) applyOp(op walOp) {
 	switch op.kind {
-	case kindReport:
+	case kindReport, kindReportEv:
 		r := op.rec
 		sh := s.shardFor(r.Subject)
 		sh.mu.Lock()
@@ -385,6 +435,13 @@ func (s *Store) applyOp(op walOp) {
 			rt.neg++
 		}
 		st.reporters[r.Reporter] = rt
+		// A replica with the evidence log off applies only the tally half of
+		// an evidence op — shard digests stay comparable because they cover
+		// tallies, never evidence (see replicate.go).
+		if op.kind == kindReportEv && s.opts.EvidenceCap > 0 {
+			st.ev = append(st.ev, evrec{reporter: r.Reporter, sp: r.SP, wire: r.Wire})
+			st.trimEvidence(s.opts.EvidenceCap)
+		}
 		sh.version++
 		sh.digValid = false
 		sh.mu.Unlock()
@@ -400,6 +457,12 @@ func (s *Store) applyMerge(oldID, newID pkc.NodeID) {
 	if oldID == newID {
 		return
 	}
+	// Record the lineage link even when oldID has no subject state: a rotation
+	// audit needs the old→new binding regardless of whether anyone had filed
+	// about the old identity yet.
+	s.lineMu.Lock()
+	s.lineage[oldID] = newID
+	s.lineMu.Unlock()
 	i, j := s.shardIndex(oldID), s.shardIndex(newID)
 	si, sj := &s.shards[i], &s.shards[j]
 	if i == j {
@@ -442,6 +505,28 @@ func (s *Store) applyMerge(oldID, newID pkc.NodeID) {
 		drt.neg += rt.neg
 		dst.reporters[rep] = drt
 	}
+	// Evidence follows the tally it backs, kept as-ingested: the wires still
+	// name oldID as their subject, which a verifier accepts through the
+	// lineage link recorded above.
+	if len(src.ev) > 0 || src.evTrunc {
+		dst.ev = append(dst.ev, src.ev...)
+		dst.evTrunc = dst.evTrunc || src.evTrunc
+		dst.trimEvidence(s.opts.EvidenceCap)
+	}
+}
+
+// trimEvidence enforces the per-subject retention cap, dropping the oldest
+// evidence first and marking the state truncated.
+func (st *subjectState) trimEvidence(cap int) {
+	if cap <= 0 || len(st.ev) <= cap {
+		return
+	}
+	n := copy(st.ev, st.ev[len(st.ev)-cap:])
+	for k := n; k < len(st.ev); k++ {
+		st.ev[k] = evrec{} // release the dropped wires
+	}
+	st.ev = st.ev[:n]
+	st.evTrunc = true
 }
 
 // Tally returns the raw positive/negative counts for a subject. ok is false
@@ -503,6 +588,18 @@ func (s *Store) WALSize() int64 {
 		return 0
 	}
 	return s.wal.size.Load()
+}
+
+// WALEpoch returns the active WAL epoch (0 for memory-only) — a coarse,
+// monotonic state-age marker. Proof bundles stamp it as their attestation
+// epoch so a verifier can order two proofs from the same agent.
+func (s *Store) WALEpoch() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.epoch
 }
 
 // CompactFailures returns how many automatic compactions have failed since

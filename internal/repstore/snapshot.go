@@ -29,6 +29,13 @@ import (
 // the same atomic rename. HRSNAP02 snapshots (no marker section) still load,
 // with no markers.
 //
+// HRSNAP04 appends the verifiable-read state (DESIGN.md §14) after the
+// markers: the merge-lineage section, then the evidence section (layouts in
+// evidence.go). Both fold into the snapshot for the same reason the markers
+// do — evidence torn from the tally it backs would turn honest bundles
+// partial (or worse, unverifiable) after a restart. HRSNAP03/02 snapshots
+// still load, with empty evidence and lineage.
+//
 // epoch is the snapshot's WAL replay floor: the snapshot contains every
 // record from WAL epochs below it, so recovery replays only epoch files at
 // or above the floor. The CRC covers the floor too — a flipped epoch bit
@@ -41,7 +48,8 @@ import (
 // the expected crash artifact).
 const (
 	snapName     = "snapshot"
-	snapMagic    = "HRSNAP03"
+	snapMagic    = "HRSNAP04"
+	snapMagicV3  = "HRSNAP03" // pre-evidence format, still loadable
 	snapMagicV2  = "HRSNAP02" // pre-marker format, still loadable
 	snapMagicLen = 8
 )
@@ -126,6 +134,16 @@ func (s *Store) encodeState() []byte {
 		body = put32(body, mark.shard)
 	}
 	s.mergedMu.Unlock()
+	body = appendLineageSection(body, s.LineageLinks())
+	var subjects []pkc.NodeID
+	for i := range s.shards {
+		for subject := range s.shards[i].subjects {
+			subjects = append(subjects, subject)
+		}
+	}
+	body = appendEvidenceSection(body, subjects, func(id pkc.NodeID) *subjectState {
+		return s.shardFor(id).subjects[id]
+	})
 	return body
 }
 
@@ -144,7 +162,7 @@ func (s *Store) loadSnapshot() (uint64, error) {
 		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 	}
 	magic := string(buf[:snapMagicLen])
-	if magic != snapMagic && magic != snapMagicV2 {
+	if magic != snapMagic && magic != snapMagicV3 && magic != snapMagicV2 {
 		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 	}
 	hdr := buf[snapMagicLen:]
@@ -160,7 +178,7 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	if want != crc {
 		return 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
 	}
-	if err := s.decodeState(body, magic != snapMagicV2); err != nil {
+	if err := s.decodeState(body, magic != snapMagicV2, magic == snapMagic); err != nil {
 		return 0, err
 	}
 	return epoch, nil
@@ -169,8 +187,9 @@ func (s *Store) loadSnapshot() (uint64, error) {
 // decodeState parses a snapshot body into the shards. The body passed its
 // CRC, so structural violations still mean corruption (or a version skew)
 // and error out rather than guessing. withMarkers selects whether a handoff
-// merge-marker section follows the subjects (HRSNAP03+).
-func (s *Store) decodeState(body []byte, withMarkers bool) error {
+// merge-marker section follows the subjects (HRSNAP03+); withEvidence
+// whether the lineage + evidence sections follow the markers (HRSNAP04+).
+func (s *Store) decodeState(body []byte, withMarkers, withEvidence bool) error {
 	d := snapReader{buf: body}
 	count := d.u32()
 	total := int64(0)
@@ -209,6 +228,22 @@ func (s *Store) decodeState(body []byte, withMarkers bool) error {
 			}
 			s.merged[mark] = true
 		}
+	}
+	if withEvidence {
+		s.addLineage(decodeLineageSection(&d))
+		decodeEvidenceSection(&d, func(subject pkc.NodeID, evs []evrec, truncated bool) bool {
+			st := s.shardFor(subject).subjects[subject]
+			if st == nil {
+				return false // evidence for a subject the tally section never named
+			}
+			if s.opts.EvidenceCap <= 0 {
+				return true // retention turned off this session; drop the wires
+			}
+			st.ev = evs
+			st.evTrunc = truncated
+			st.trimEvidence(s.opts.EvidenceCap) // cap may have shrunk across restarts
+			return true
+		})
 	}
 	if d.err != nil {
 		return d.err

@@ -68,6 +68,11 @@ func parseWALEpoch(name string) (uint64, bool) {
 const (
 	kindReport byte = 1
 	kindMerge  byte = 2
+	// kindReportEv is a report carrying its evidence: the reporter's signing
+	// key and the full signed report wire ride in the same frame as the tally
+	// op, so the evidence log (DESIGN.md §14) is WAL-consistent with the
+	// count it backs by construction — there is no second log to tear.
+	kindReportEv byte = 3
 )
 
 // walOp is one logged operation: an accepted report or a key-rotation merge.
@@ -84,6 +89,19 @@ const reportPayloadSize = 1 + pkc.NodeIDSize + pkc.NodeIDSize + 1 + pkc.NonceSiz
 // mergePayloadSize is kind + old + new.
 const mergePayloadSize = 1 + pkc.NodeIDSize + pkc.NodeIDSize
 
+// Evidence field bounds. The store treats the key and wire as opaque bytes
+// (agentdir owns their formats), so the bounds are generous caps against a
+// corrupt length field, not format knowledge: an Ed25519 key is 32 bytes and
+// a signed report wire 101.
+const (
+	maxEvidenceKey  = 255
+	maxEvidenceWire = 4096
+	// reportEvBaseSize is a kindReportEv payload before the two
+	// variable-length evidence fields: the kindReport layout plus a u8 key
+	// length and u16le wire length.
+	reportEvBaseSize = reportPayloadSize + 1 + 2
+)
+
 // encodeOp appends the canonical payload encoding of op to dst.
 func encodeOp(dst []byte, op walOp) []byte {
 	switch op.kind {
@@ -97,6 +115,22 @@ func encodeOp(dst []byte, op walOp) []byte {
 			dst = append(dst, 0)
 		}
 		dst = append(dst, op.rec.Nonce[:]...)
+	case kindReportEv:
+		dst = append(dst, kindReportEv)
+		dst = append(dst, op.rec.Reporter[:]...)
+		dst = append(dst, op.rec.Subject[:]...)
+		if op.rec.Positive {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, op.rec.Nonce[:]...)
+		dst = append(dst, byte(len(op.rec.SP)))
+		var wl [2]byte
+		binary.LittleEndian.PutUint16(wl[:], uint16(len(op.rec.Wire)))
+		dst = append(dst, wl[:]...)
+		dst = append(dst, op.rec.SP...)
+		dst = append(dst, op.rec.Wire...)
 	case kindMerge:
 		dst = append(dst, kindMerge)
 		dst = append(dst, op.oldID[:]...)
@@ -131,6 +165,37 @@ func decodeOp(p []byte) (walOp, error) {
 			return walOp{}, ErrCorruptRecord
 		}
 		copy(op.rec.Nonce[:], p[1:])
+		return op, nil
+	case kindReportEv:
+		if len(p) < reportEvBaseSize {
+			return walOp{}, ErrCorruptRecord
+		}
+		op := walOp{kind: kindReportEv}
+		p = p[1:]
+		copy(op.rec.Reporter[:], p[:pkc.NodeIDSize])
+		p = p[pkc.NodeIDSize:]
+		copy(op.rec.Subject[:], p[:pkc.NodeIDSize])
+		p = p[pkc.NodeIDSize:]
+		switch p[0] {
+		case 0:
+			op.rec.Positive = false
+		case 1:
+			op.rec.Positive = true
+		default:
+			return walOp{}, ErrCorruptRecord
+		}
+		copy(op.rec.Nonce[:], p[1:1+pkc.NonceSize])
+		p = p[1+pkc.NonceSize:]
+		spLen := int(p[0])
+		wireLen := int(binary.LittleEndian.Uint16(p[1:3]))
+		p = p[3:]
+		if spLen == 0 || wireLen == 0 || wireLen > maxEvidenceWire || len(p) != spLen+wireLen {
+			return walOp{}, ErrCorruptRecord
+		}
+		// Copy: decode buffers are recovery reads or replicated batches whose
+		// backing arrays must not be pinned by retained evidence.
+		op.rec.SP = append([]byte(nil), p[:spLen]...)
+		op.rec.Wire = append([]byte(nil), p[spLen:]...)
 		return op, nil
 	case kindMerge:
 		if len(p) != mergePayloadSize {

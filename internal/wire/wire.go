@@ -110,11 +110,21 @@ const (
 	// Signed and allowlisted exactly like the intra-group replication frames.
 	RHandoff
 	RHandoffResp
+	// TProofReq / TProofResp are onion-inner messages of the verifiable-read
+	// subsystem (DESIGN.md §14): the request asks an agent — or an untrusted
+	// edge cache — for a subject's reputation as evidence rather than as a
+	// bare tally; the response carries a self-verifying proof bundle or a
+	// compact signed trust snapshot back through the requestor's reply
+	// onion. Both end with trailing-optional fields guarded by
+	// Decoder.More() (the §12/§13 convention), so mixed protocol revisions
+	// keep interoperating.
+	TProofReq
+	TProofResp
 )
 
 // NumMsgTypes is one past the highest assigned MsgType, for per-type
 // counter arrays.
-const NumMsgTypes = int(RHandoffResp) + 1
+const NumMsgTypes = int(TProofResp) + 1
 
 func (t MsgType) String() string {
 	switch t {
@@ -180,6 +190,10 @@ func (t MsgType) String() string {
 		return "shard-handoff"
 	case RHandoffResp:
 		return "shard-handoff-resp"
+	case TProofReq:
+		return "proof-req"
+	case TProofResp:
+		return "proof-resp"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
