@@ -335,8 +335,10 @@ func (a *Agent) ApplyKeyUpdate(wire []byte) (pkc.KeyUpdate, error) {
 	// Tallies about the old nodeID migrate in the store first (durably, when
 	// the store is WAL-backed): Merge can fail on WAL I/O, the key-map swap
 	// below cannot, so a failure leaves both keys and tallies untouched —
-	// the caller can tell nothing applied.
-	if err := a.store.Merge(upd.OldID, upd.NewID); err != nil {
+	// the caller can tell nothing applied. The verified update wire and the
+	// old key ride along as the lineage certificate, so a proof bundle
+	// spanning this rotation can prove the old→new link to any verifier.
+	if err := a.store.MergeCertified(upd.OldID, upd.NewID, oldSP, wire); err != nil {
 		return pkc.KeyUpdate{}, err
 	}
 	delete(a.keys, upd.OldID)

@@ -39,6 +39,15 @@ const (
 // an edge can degrade: it cannot alter a payload, only re-serve one.
 const defaultSnapshotTTL = 60 * time.Second
 
+// snapshotClockSkew is how far the client's clock may run ahead of the
+// issuing agent's before freshly issued snapshots are misjudged as expired.
+// Expires is stamped by the agent but checked against the client's wall
+// clock, so with zero tolerance a client a few seconds fast would fail every
+// fetch with a permanent (non-retried) ErrBadAgent. The allowance extends a
+// snapshot's effective lifetime by the same amount — snapshot freshness
+// assumes loosely synchronized clocks.
+const snapshotClockSkew = 30 * time.Second
+
 // proofResp is one decoded, outer-signature-verified proof response.
 type proofResp struct {
 	subject pkc.NodeID
@@ -91,18 +100,28 @@ func (c *proofCache) get(key string, now time.Time) ([]byte, bool) {
 	return e.payload, true
 }
 
-func (c *proofCache) put(key string, payload []byte, now time.Time) {
+// put stores a payload until expires. An overwritten key moves to the back
+// of the eviction order — a hot, freshly re-written entry must not be the
+// next "oldest" evicted while stale keys keep their slots.
+func (c *proofCache) put(key string, payload []byte, expires time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.m[key]; !exists {
+	if _, exists := c.m[key]; exists {
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	} else {
 		for len(c.order) >= c.cap {
 			oldest := c.order[0]
 			c.order = c.order[1:]
 			delete(c.m, oldest)
 		}
-		c.order = append(c.order, key)
 	}
-	c.m[key] = proofCacheEntry{payload: payload, expires: now.Add(c.ttl)}
+	c.order = append(c.order, key)
+	c.m[key] = proofCacheEntry{payload: payload, expires: expires}
 }
 
 // SetProofTamper installs a hook mutating every bundle this agent assembles
@@ -220,7 +239,7 @@ func (n *Node) requestTrustSnapshotOnce(agent AgentInfo, subject pkc.NodeID, rep
 	if ts.Subject != subject {
 		return nil, fmt.Errorf("%w: snapshot names the wrong subject", ErrBadAgent)
 	}
-	if err := ts.Verify(uint64(time.Now().Unix())); err != nil {
+	if err := ts.Verify(uint64(time.Now().Add(-snapshotClockSkew).Unix())); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadAgent, err)
 	}
 	return ts, nil
@@ -488,7 +507,9 @@ func (n *Node) serveProofAsAgent(req *proofRequest) {
 		payload = b.Encode()
 	}
 	if n.proofCache != nil {
-		n.proofCache.put(key, payload, now)
+		// A snapshot assembled here carries Expires = now + TTL, so the cache
+		// entry and the payload's own validity run out together.
+		n.proofCache.put(key, payload, now.Add(n.proofCache.ttl))
 	}
 	n.countProofServed()
 	n.sendProofResp(req, kind, payload)
@@ -545,7 +566,26 @@ func (n *Node) serveProofAsEdge(req *proofRequest) {
 		if err != nil || k != kind {
 			return
 		}
-		n.proofCache.put(key, payload, time.Now())
+		// A fetched snapshot was issued upstream some round trips ago, so its
+		// embedded Expires lands before now+TTL: cap the cache entry at the
+		// payload's own validity, or the tail of the window would serve
+		// already-expired snapshots as cache hits that every client then
+		// fails (permanently) to verify. A payload with no validity left —
+		// or one that does not even decode — is forwarded but never cached.
+		fetched := time.Now()
+		expires := fetched.Add(n.proofCache.ttl)
+		cacheable := true
+		if kind == proofKindSnapshot {
+			ts, derr := proof.DecodeTrustSnapshot(payload)
+			if derr != nil {
+				cacheable = false
+			} else if embedded := time.Unix(int64(ts.Expires), 0); embedded.Before(expires) {
+				expires = embedded
+			}
+		}
+		if cacheable && expires.After(fetched) {
+			n.proofCache.put(key, payload, expires)
+		}
 		n.countProofServed()
 		n.sendProofResp(req, kind, payload)
 	}()

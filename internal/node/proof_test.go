@@ -266,3 +266,37 @@ func TestProofAgentMemoizesAssembly(t *testing.T) {
 		t.Fatalf("agent memoization: hits=%d misses=%d, want 2/1", s.ProofCacheHits, s.ProofCacheMisses)
 	}
 }
+
+// TestProofCachePutSemantics pins the two cache-entry contracts callers rely
+// on: an overwrite refreshes the key's eviction-order slot (a re-fetched hot
+// entry must not be evicted as "oldest"), and the explicit expires wins over
+// any notion of insertion-time TTL — the edge path caps it at the snapshot's
+// embedded validity.
+func TestProofCachePutSemantics(t *testing.T) {
+	now := time.Now()
+	c := newProofCache(2, time.Minute)
+	c.put("a", []byte("a1"), now.Add(time.Minute))
+	c.put("b", []byte("b1"), now.Add(time.Minute))
+	// Overwrite "a": it must move behind "b" in eviction order.
+	c.put("a", []byte("a2"), now.Add(time.Minute))
+	c.put("c", []byte("c1"), now.Add(time.Minute)) // evicts the true oldest: "b"
+	if _, ok := c.get("b", now); ok {
+		t.Fatal("overwrite did not refresh eviction order: stale key outlived hot key")
+	}
+	if p, ok := c.get("a", now); !ok || string(p) != "a2" {
+		t.Fatalf("refreshed entry lost: %q %v", p, ok)
+	}
+	if len(c.m) != 2 || len(c.order) != 2 {
+		t.Fatalf("cache size drifted: map=%d order=%d", len(c.m), len(c.order))
+	}
+
+	// Explicit expiry is honored exactly: a payload whose embedded validity
+	// ends before the cache TTL must miss once that moment passes.
+	c.put("s", []byte("snap"), now.Add(10*time.Second))
+	if _, ok := c.get("s", now.Add(9*time.Second)); !ok {
+		t.Fatal("entry expired early")
+	}
+	if _, ok := c.get("s", now.Add(11*time.Second)); ok {
+		t.Fatal("entry served past its explicit expiry")
+	}
+}

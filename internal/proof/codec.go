@@ -9,7 +9,7 @@ import (
 //
 //	subject | u64 pos | u64 neg | u64 epoch | u64 partial(0|1) |
 //	u64 evidence count | (reporter | sp | wire)* |
-//	u64 lineage count  | (old | new)* |
+//	u64 lineage count  | (old | new | oldSP | keyUpdateWire)* |
 //	agentSP | agentSig
 //
 // The encoding is canonical: decode rejects anything a re-encode would not
@@ -38,7 +38,7 @@ func (b *Bundle) Encode() []byte {
 	}
 	e.U64(uint64(len(b.Lineage)))
 	for _, l := range b.Lineage {
-		e.Bytes(l[0][:]).Bytes(l[1][:])
+		e.Bytes(l.Old[:]).Bytes(l.New[:]).Bytes(l.OldSP).Bytes(l.Wire)
 	}
 	e.Bytes(b.AgentSP).Bytes(b.AgentSig)
 	return e.Encode()
@@ -92,12 +92,18 @@ func DecodeBundle(p []byte) (*Bundle, error) {
 	if d.Err() != nil || nln > uint64(len(p)) {
 		return nil, ErrCorrupt
 	}
-	b.Lineage = make([][2]pkc.NodeID, 0, min(int(nln), 4096))
+	b.Lineage = make([]LineageLink, 0, min(int(nln), 4096))
 	for i := uint64(0); i < nln; i++ {
-		var l [2]pkc.NodeID
-		if !decodeID(d, &l[0]) || !decodeID(d, &l[1]) {
+		var l LineageLink
+		if !decodeID(d, &l.Old) || !decodeID(d, &l.New) {
 			return nil, ErrCorrupt
 		}
+		sp, w := d.Bytes(), d.Bytes()
+		if len(sp) == 0 || len(sp) > maxCodecKey || len(w) == 0 || len(w) > maxCodecWire {
+			return nil, ErrCorrupt
+		}
+		l.OldSP = append([]byte(nil), sp...)
+		l.Wire = append([]byte(nil), w...)
 		b.Lineage = append(b.Lineage, l)
 	}
 	sp, sig := d.Bytes(), d.Bytes()

@@ -38,10 +38,19 @@ func FuzzDecodeProofBundle(f *testing.F) {
 	wireBytes = append(wireBytes, 1)
 	wireBytes = append(wireBytes, nn[:]...)
 	wireBytes = append(wireBytes, reporter.SignMessage(wireBytes)...)
+	// A structurally valid lineage entry; the certificate bytes need not
+	// verify for codec fuzzing, only round-trip.
+	rotated, updWire, err := reporter.Rotate(bytes.NewReader(bytes.Repeat([]byte{0x77, 0x2d, 0x88}, 1024)))
+	if err != nil {
+		f.Fatal(err)
+	}
 	full := &Bundle{
 		Subject: subject, Pos: 1, Epoch: 9, Partial: true,
 		Evidence: []Evidence{{Reporter: reporter.ID, SP: reporter.Sign.Public, Wire: wireBytes}},
-		Lineage:  [][2]pkc.NodeID{{reporter.ID, subject}},
+		Lineage: []LineageLink{{
+			Old: reporter.ID, New: rotated.ID,
+			OldSP: reporter.Sign.Public, Wire: updWire,
+		}},
 	}
 	full.Sign(agent)
 	f.Add(full.Encode())

@@ -91,6 +91,16 @@ type Evidence struct {
 	Wire     []byte
 }
 
+// LineageLink is one §3.5 identity succession inside a bundle: Old merged
+// into New, proven by Wire — a pkc key-update message signed by the old
+// identity's key OldSP. Verify re-runs pkc.VerifyKeyUpdate on every link, so
+// the agent's word is never what authenticates a succession.
+type LineageLink struct {
+	Old, New pkc.NodeID
+	OldSP    []byte
+	Wire     []byte
+}
+
 // Bundle is a self-verifying reputation export for one subject.
 type Bundle struct {
 	Subject pkc.NodeID
@@ -108,9 +118,13 @@ type Bundle struct {
 	Evidence []Evidence
 	// Lineage carries the old→new identity-merge links (§3.5 key rotations)
 	// a verifier needs to accept evidence signed over pre-rotation subject
-	// IDs. Signed with the rest: fabricating a link to launder unrelated
-	// evidence into a subject's tally is itself a provable lie.
-	Lineage [][2]pkc.NodeID
+	// IDs. Each link ships its key-update certificate — the old identity's
+	// signing key and the update wire the old key signed — and Verify
+	// re-checks it, so a link is only as good as the rotated-away key's own
+	// authorization: an agent cannot fabricate a link to launder unrelated
+	// evidence into a subject's tally, and shipping one anyway is a provable
+	// lie (the link is inside the signed attestation).
+	Lineage []LineageLink
 	// AgentSP / AgentSig authenticate the bundle: AgentSig is the agent's
 	// Ed25519 signature over the attestation header (domain tag, subject,
 	// tally, epoch, partial flag, evidence digest).
@@ -132,7 +146,7 @@ func (b *Bundle) evidenceDigest() [sha256.Size]byte {
 	}
 	e.U64(uint64(len(b.Lineage)))
 	for _, l := range b.Lineage {
-		e.Bytes(l[0][:]).Bytes(l[1][:])
+		e.Bytes(l.Old[:]).Bytes(l.New[:]).Bytes(l.OldSP).Bytes(l.Wire)
 	}
 	return sha256.Sum256(e.Encode())
 }
@@ -164,21 +178,44 @@ func AssembleUnsigned(st *repstore.Store, subject pkc.NodeID, epoch uint64) *Bun
 	for i, e := range evs {
 		b.Evidence[i] = Evidence{Reporter: e.Reporter, SP: e.SP, Wire: e.Wire}
 	}
+	// Only certified links are exportable: a link without its key-update
+	// certificate proves nothing to a verifier, and shipping it would read
+	// as a fabrication. Evidence that resolves to the subject only through a
+	// dropped uncertified link is withheld with it — the bundle goes Partial
+	// (the unevidenced remainder rides on the agent's signature), never
+	// falsely Lying.
+	rel, droppedLink := relevantLineage(st.LineageLinks(), b)
+	b.Lineage = rel
+	if droppedLink {
+		lineage := make(map[pkc.NodeID]pkc.NodeID, len(rel))
+		for _, l := range rel {
+			lineage[l.Old] = l.New
+		}
+		kept := b.Evidence[:0]
+		for _, ev := range b.Evidence {
+			ws, _, _, _, _, err := agentdir.ParseReportWire(ev.Wire)
+			if err == nil && resolvesTo(ws, b.Subject, lineage) {
+				kept = append(kept, ev)
+			}
+		}
+		b.Evidence = kept
+	}
 	// Partial whenever the evidence cannot reproduce the whole tally — the
-	// cap dropped wires, or counts arrived without evidence (merged tallies,
-	// retention enabled after ingest started).
-	b.Partial = truncated || uint64(len(evs)) != b.Pos+b.Neg
-	b.Lineage = relevantLineage(st.LineageLinks(), b)
+	// cap dropped wires, counts arrived without evidence (merged tallies,
+	// retention enabled after ingest started), or an uncertified lineage
+	// link forced evidence to be withheld above.
+	b.Partial = truncated || uint64(len(b.Evidence)) != b.Pos+b.Neg
 	return b
 }
 
 // relevantLineage filters the store's full lineage table to the links a
-// verifier of this bundle could need: every link on a chain ending at the
-// bundle's subject. Shipping unrelated rotations would leak other
-// identities' history for no verification value.
-func relevantLineage(links [][2]pkc.NodeID, b *Bundle) [][2]pkc.NodeID {
+// verifier of this bundle could need: every certified link on a chain ending
+// at the bundle's subject. Shipping unrelated rotations would leak other
+// identities' history for no verification value. dropped reports that a
+// relevant link had to be withheld for lacking its certificate.
+func relevantLineage(links []repstore.LineageLink, b *Bundle) (out []LineageLink, dropped bool) {
 	if len(links) == 0 {
-		return nil
+		return nil, false
 	}
 	// Walk backwards from the subject: a link (old → new) is relevant if new
 	// is the subject or already known-relevant.
@@ -186,19 +223,23 @@ func relevantLineage(links [][2]pkc.NodeID, b *Bundle) [][2]pkc.NodeID {
 	for changed := true; changed; {
 		changed = false
 		for _, l := range links {
-			if relevant[l[1]] && !relevant[l[0]] {
-				relevant[l[0]] = true
+			if relevant[l.New] && !relevant[l.Old] {
+				relevant[l.Old] = true
 				changed = true
 			}
 		}
 	}
-	var out [][2]pkc.NodeID
 	for _, l := range links {
-		if relevant[l[1]] {
-			out = append(out, l)
+		if !relevant[l.New] {
+			continue
 		}
+		if !l.Certified() {
+			dropped = true
+			continue
+		}
+		out = append(out, LineageLink{Old: l.Old, New: l.New, OldSP: l.OldSP, Wire: l.Wire})
 	}
-	return out
+	return out, dropped
 }
 
 // Sign attests the bundle as agent: the attestation header (including the
@@ -244,9 +285,19 @@ func Verify(b *Bundle) (Result, error) {
 	lying := func(reason string, args ...any) (Result, error) {
 		return Result{Verdict: Lying, Reason: fmt.Sprintf(reason, args...)}, nil
 	}
+	// A lineage link counts only if the rotated-away key itself authorized
+	// the succession: the shipped key-update wire must verify under the old
+	// identity's key and bind exactly this old→new pair. The agent signed the
+	// link into its attestation, so an unauthorized one is not a malformed
+	// bundle — it is a fabricated succession, provable misbehavior.
 	lineage := make(map[pkc.NodeID]pkc.NodeID, len(b.Lineage))
-	for _, l := range b.Lineage {
-		lineage[l[0]] = l[1]
+	for i, l := range b.Lineage {
+		upd, err := pkc.VerifyKeyUpdate(l.OldSP, l.Wire)
+		if err != nil || upd.OldID != l.Old || upd.NewID != l.New {
+			return lying("lineage link %d: succession %s→%s not authorized by the old identity's key",
+				i, l.Old.Short(), l.New.Short())
+		}
+		lineage[l.Old] = l.New
 	}
 	type nonceKey struct {
 		rep   pkc.NodeID

@@ -48,7 +48,7 @@ func submit(t *testing.T, a *agentdir.Agent, reporter *pkc.Identity, subject pkc
 func resign(b *Bundle, agent *pkc.Identity) *Bundle {
 	c := *b
 	c.Evidence = append([]Evidence(nil), b.Evidence...)
-	c.Lineage = append([][2]pkc.NodeID(nil), b.Lineage...)
+	c.Lineage = append([]LineageLink(nil), b.Lineage...)
 	return &c
 }
 
@@ -224,18 +224,60 @@ func TestTamperVerdicts(t *testing.T) {
 			t.Fatalf("err = %v, want ErrUnverifiable", err)
 		}
 	})
-	t.Run("lineage cycle bounded", func(t *testing.T) {
+	t.Run("fabricated lineage link", func(t *testing.T) {
+		// The laundering attack: a genuine signed report about identity X,
+		// pulled into the subject's tally by a lineage link X→subject the
+		// agent made up. Without X's key no valid key-update wire for that
+		// succession can exist, so the fabricated certificate convicts the
+		// agent — it signed the link into its attestation.
 		b := resign(honest, agentID)
-		x, y := ident(t).ID, ident(t).ID
 		b.Evidence = append(b.Evidence, Evidence{
 			Reporter: r.ID,
 			SP:       append([]byte(nil), r.Sign.Public...),
-			Wire:     agentdir.SignReport(r, x, true, nonce(t)),
+			Wire:     agentdir.SignReport(r, other.ID, true, nonce(t)),
 		})
 		b.Pos++
-		b.Lineage = append(b.Lineage, [2]pkc.NodeID{x, y}, [2]pkc.NodeID{y, x})
+		b.Lineage = append(b.Lineage, LineageLink{
+			Old: other.ID, New: subject,
+			OldSP: append([]byte(nil), other.Sign.Public...),
+			Wire:  []byte("no such rotation ever happened"),
+		})
 		b.Sign(agentID)
-		mustVerdict(t, b, Lying, "does not resolve")
+		mustVerdict(t, b, Lying, "not authorized")
+	})
+	t.Run("replayed foreign rotation cert", func(t *testing.T) {
+		// Subtler laundering: the certificate is a REAL key update — but for
+		// a different succession. The wire binds old and new IDs under the
+		// old key's signature, so retargeting it at the subject fails.
+		b := resign(honest, agentID)
+		stranger := ident(t)
+		_, upd, err := stranger.Rotate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Evidence = append(b.Evidence, Evidence{
+			Reporter: r.ID,
+			SP:       append([]byte(nil), r.Sign.Public...),
+			Wire:     agentdir.SignReport(r, stranger.ID, true, nonce(t)),
+		})
+		b.Pos++
+		b.Lineage = append(b.Lineage, LineageLink{
+			Old: stranger.ID, New: subject, // cert really names stranger→next, not →subject
+			OldSP: append([]byte(nil), stranger.Sign.Public...),
+			Wire:  upd,
+		})
+		b.Sign(agentID)
+		mustVerdict(t, b, Lying, "not authorized")
+	})
+	t.Run("lineage cycle bounded", func(t *testing.T) {
+		// resolvesTo must terminate on a crafted link cycle. Certified cycles
+		// cannot be minted through the public API (Rotate always derives a
+		// fresh identity), so exercise the resolver directly.
+		x, y := ident(t).ID, ident(t).ID
+		cycle := map[pkc.NodeID]pkc.NodeID{x: y, y: x}
+		if resolvesTo(x, ident(t).ID, cycle) {
+			t.Fatal("cycle resolved to an unrelated subject")
+		}
 	})
 }
 
@@ -288,6 +330,46 @@ func TestRotationLineageMatching(t *testing.T) {
 	submit(t, a, r, unrelated, true)
 	if ub := Assemble(st, agentID, unrelated, st.WALEpoch()); len(ub.Lineage) != 0 {
 		t.Fatalf("unrelated bundle leaks %d lineage links", len(ub.Lineage))
+	}
+}
+
+// TestUncertifiedMergePartial pins the assembly-side half of the lineage
+// trust model: a bare Store.Merge records a link with no key-update
+// certificate, which a bundle cannot prove. Assembly withholds both the link
+// and the evidence that resolves only through it, and the bundle goes
+// Partial — the merged-in remainder rides on the agent's signature alone —
+// rather than shipping an unprovable link or being misjudged Lying.
+func TestUncertifiedMergePartial(t *testing.T) {
+	agentID := ident(t)
+	st, _ := repstore.Open("", repstore.Options{EvidenceCap: 64})
+	a := agentdir.NewWithStore(agentID, 0, st)
+	defer a.Close()
+	oldSub, newSub, r := ident(t), ident(t), ident(t)
+	for _, id := range []*pkc.Identity{oldSub, newSub, r} {
+		if err := a.RegisterKey(id.ID, id.Sign.Public); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(t, a, r, oldSub.ID, true)
+	submit(t, a, r, oldSub.ID, true)
+	submit(t, a, r, newSub.ID, false)
+	// A store-level merge with no certificate (no §3.5 key update backs it).
+	if err := st.Merge(oldSub.ID, newSub.ID); err != nil {
+		t.Fatal(err)
+	}
+	b := Assemble(st, agentID, newSub.ID, st.WALEpoch())
+	if len(b.Lineage) != 0 {
+		t.Fatalf("bundle ships %d uncertified lineage links", len(b.Lineage))
+	}
+	if !b.Partial || len(b.Evidence) != 1 {
+		t.Fatalf("partial=%v evs=%d, want the orphaned old-ID evidence withheld", b.Partial, len(b.Evidence))
+	}
+	if b.Pos != 2 || b.Neg != 1 {
+		t.Fatalf("published tally %d/%d, want 2/1 (merge still counts)", b.Pos, b.Neg)
+	}
+	res := mustVerdict(t, b, Partial, "")
+	if res.Pos != 0 || res.Neg != 1 {
+		t.Fatalf("evidence recomputes %d/%d, want 0/1", res.Pos, res.Neg)
 	}
 }
 

@@ -20,7 +20,13 @@ import (
 //
 // Lineage section layout:
 //
-//	u32 link count | (old[20] | new[20])*
+//	u32 link count | (old[20] | new[20] | u8 key length | u16le wire length |
+//	  key | wire)*
+//
+// where key/wire are the rotated-away identity's signing key and the signed
+// key-update certificate authorizing the succession (both empty for an
+// uncertified link recorded by a bare Merge). Pre-HRSNAP05 snapshots carry
+// the IDs-only layout, loaded as uncertified links.
 //
 // In canonical encodings (shard exports) subjects and links are sorted
 // ascending by ID bytes; the snapshot body is not canonical and writes them
@@ -63,31 +69,55 @@ func (s *Store) SubjectProof(subject pkc.NodeID) (pos, neg int, evs []Evidence, 
 	return st.pos, st.neg, evs, st.evTrunc, true
 }
 
+// LineageLink is one identity-merge record: the old identity folded into the
+// new one, plus — when the merge came from a verified §3.5 key rotation — the
+// certificate proving the old identity authorized it: the old signing key and
+// the signed key-update wire (pkc.VerifyKeyUpdate re-checks both). The store
+// treats OldSP/Wire as opaque bytes; agentdir verifies them before a
+// certified merge, and proof.Verify re-verifies them in every bundle.
+type LineageLink struct {
+	Old, New pkc.NodeID
+	OldSP    []byte
+	Wire     []byte
+}
+
+// Certified reports whether the link carries its key-update certificate. Only
+// certified links are exportable in proof bundles — an uncertified link is
+// trusted locally but proves nothing to a verifier.
+func (l LineageLink) Certified() bool { return len(l.OldSP) > 0 && len(l.Wire) > 0 }
+
 // LineageLinks returns every identity-merge link the store has applied, old →
-// new, sorted by old ID. A proof bundle ships the links its evidence needs so
-// a verifier can resolve reports signed over pre-rotation subject IDs.
-func (s *Store) LineageLinks() [][2]pkc.NodeID {
+// new, sorted by old ID. A proof bundle ships the certified links its
+// evidence needs so a verifier can resolve reports signed over pre-rotation
+// subject IDs and check the old key authorized each hop.
+func (s *Store) LineageLinks() []LineageLink {
 	s.lineMu.Lock()
-	out := make([][2]pkc.NodeID, 0, len(s.lineage))
-	for old, new := range s.lineage {
-		out = append(out, [2]pkc.NodeID{old, new})
+	out := make([]LineageLink, 0, len(s.lineage))
+	for old, v := range s.lineage {
+		out = append(out, LineageLink{Old: old, New: v.newID, OldSP: v.sp, Wire: v.wire})
 	}
 	s.lineMu.Unlock()
 	sort.Slice(out, func(a, b int) bool {
-		return string(out[a][0][:]) < string(out[b][0][:])
+		return string(out[a].Old[:]) < string(out[b].Old[:])
 	})
 	return out
 }
 
 // addLineage folds links (from a snapshot, shard export, or merge) into the
-// table. Links are only ever added — forgetting one would orphan evidence.
-func (s *Store) addLineage(links [][2]pkc.NodeID) {
+// table. Links are only ever added — forgetting one would orphan evidence —
+// and a certified record is never downgraded by an uncertified copy of the
+// same succession arriving later.
+func (s *Store) addLineage(links []LineageLink) {
 	if len(links) == 0 {
 		return
 	}
 	s.lineMu.Lock()
 	for _, l := range links {
-		s.lineage[l[0]] = l[1]
+		if cur, ok := s.lineage[l.Old]; ok && cur.newID == l.New &&
+			len(cur.wire) > 0 && len(l.Wire) == 0 {
+			continue
+		}
+		s.lineage[l.Old] = lineageVal{newID: l.New, sp: l.OldSP, wire: l.Wire}
 	}
 	s.lineMu.Unlock()
 }
@@ -250,28 +280,75 @@ func decodeEvidenceSection(d *snapReader, attach func(subject pkc.NodeID, evs []
 }
 
 // appendLineageSection serializes lineage links (already sorted for canonical
-// encodings).
-func appendLineageSection(body []byte, links [][2]pkc.NodeID) []byte {
+// encodings), certificates included.
+func appendLineageSection(body []byte, links []LineageLink) []byte {
 	body = binary.LittleEndian.AppendUint32(body, uint32(len(links)))
 	for _, l := range links {
-		body = append(body, l[0][:]...)
-		body = append(body, l[1][:]...)
+		body = append(body, l.Old[:]...)
+		body = append(body, l.New[:]...)
+		body = append(body, byte(len(l.OldSP)))
+		var wl [2]byte
+		binary.LittleEndian.PutUint16(wl[:], uint16(len(l.Wire)))
+		body = append(body, wl[:]...)
+		body = append(body, l.OldSP...)
+		body = append(body, l.Wire...)
 	}
 	return body
 }
 
-// decodeLineageSection parses one lineage section.
-func decodeLineageSection(d *snapReader) [][2]pkc.NodeID {
+// decodeLineageSection parses one lineage section (certified layout).
+func decodeLineageSection(d *snapReader) []LineageLink {
 	count := d.u32()
 	hint := int(count)
 	if hint > 1024 {
 		hint = 1024
 	}
-	links := make([][2]pkc.NodeID, 0, hint)
+	links := make([]LineageLink, 0, hint)
 	for i := uint32(0); i < count; i++ {
-		var l [2]pkc.NodeID
-		copy(l[0][:], d.take(pkc.NodeIDSize))
-		copy(l[1][:], d.take(pkc.NodeIDSize))
+		var l LineageLink
+		copy(l.Old[:], d.take(pkc.NodeIDSize))
+		copy(l.New[:], d.take(pkc.NodeIDSize))
+		lb := d.take(1)
+		if lb == nil {
+			return nil
+		}
+		spLen := int(lb[0])
+		wb := d.take(2)
+		if wb == nil {
+			return nil
+		}
+		wireLen := int(binary.LittleEndian.Uint16(wb))
+		if wireLen > maxEvidenceWire {
+			d.err = ErrCorruptRecord
+			return nil
+		}
+		if spLen > 0 {
+			l.OldSP = append([]byte(nil), d.take(spLen)...)
+		}
+		if wireLen > 0 {
+			l.Wire = append([]byte(nil), d.take(wireLen)...)
+		}
+		if d.err != nil {
+			return nil
+		}
+		links = append(links, l)
+	}
+	return links
+}
+
+// decodeLineageSectionV4 parses the pre-certificate (HRSNAP04) IDs-only
+// layout; the links load uncertified.
+func decodeLineageSectionV4(d *snapReader) []LineageLink {
+	count := d.u32()
+	hint := int(count)
+	if hint > 1024 {
+		hint = 1024
+	}
+	links := make([]LineageLink, 0, hint)
+	for i := uint32(0); i < count; i++ {
+		var l LineageLink
+		copy(l.Old[:], d.take(pkc.NodeIDSize))
+		copy(l.New[:], d.take(pkc.NodeIDSize))
 		if d.err != nil {
 			return nil
 		}

@@ -201,7 +201,11 @@ func TestEvidenceMergeAndLineage(t *testing.T) {
 	if err := s.Append(evRecord(10, newID)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Merge(oldID, newID); err != nil {
+	// A certified merge: the store persists the key-update certificate
+	// opaquely (agentdir verified it; bundle verifiers re-verify it).
+	certSP := []byte("old-signing-key")
+	certWire := []byte("signed-key-update-wire")
+	if err := s.MergeCertified(oldID, newID, certSP, certWire); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, _, _, ok := s.SubjectProof(oldID); ok {
@@ -211,9 +215,26 @@ func TestEvidenceMergeAndLineage(t *testing.T) {
 	if !ok || pos+neg != 4 || len(evs) != 4 || trunc {
 		t.Fatalf("merged proof: tally %d, %d evs, trunc=%v", pos+neg, len(evs), trunc)
 	}
-	wantLinks := [][2]pkc.NodeID{{oldID, newID}}
-	if links := s.LineageLinks(); len(links) != 1 || links[0] != wantLinks[0] {
-		t.Fatalf("LineageLinks = %v, want %v", links, wantLinks)
+	wantCert := func(what string, links []LineageLink) {
+		t.Helper()
+		for _, l := range links {
+			if l.Old != oldID {
+				continue
+			}
+			if l.New != newID {
+				t.Fatalf("%s: link = %v→%v, want →%v", what, l.Old, l.New, newID)
+			}
+			if !l.Certified() || string(l.OldSP) != string(certSP) || string(l.Wire) != string(certWire) {
+				t.Fatalf("%s: certificate lost: sp=%q wire=%q", what, l.OldSP, l.Wire)
+			}
+			return
+		}
+		t.Fatalf("%s: no lineage link for %v in %v", what, oldID, links)
+	}
+	if links := s.LineageLinks(); len(links) != 1 {
+		t.Fatalf("LineageLinks = %v, want one link", links)
+	} else {
+		wantCert("live", links)
 	}
 	// A merge of a subject with no state still records lineage: the binding
 	// matters to verifiers even when no tally moved.
@@ -232,6 +253,8 @@ func TestEvidenceMergeAndLineage(t *testing.T) {
 	}
 	if links := re.LineageLinks(); len(links) != 2 {
 		t.Fatalf("WAL replay lost lineage: %v", links)
+	} else {
+		wantCert("WAL replay", links)
 	}
 	if _, _, evs, _, _ := re.SubjectProof(newID); len(evs) != 4 {
 		t.Fatalf("WAL replay lost merged evidence: %d evs", len(evs))
@@ -252,6 +275,8 @@ func TestEvidenceMergeAndLineage(t *testing.T) {
 	defer re2.Close()
 	if links := re2.LineageLinks(); len(links) != 2 {
 		t.Fatalf("snapshot lost lineage: %v", links)
+	} else {
+		wantCert("snapshot", links)
 	}
 	if _, _, evs, _, _ := re2.SubjectProof(newID); len(evs) != 4 {
 		t.Fatalf("snapshot lost merged evidence: %d evs", len(evs))
@@ -274,7 +299,7 @@ func TestEvidenceShardExportMerge(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := src.Merge(nid(551), subject); err != nil {
+	if err := src.MergeCertified(nid(551), subject, []byte("sp551"), []byte("wire551")); err != nil {
 		t.Fatal(err)
 	}
 	shard := int(src.shardIndex(subject))
@@ -317,6 +342,8 @@ func TestEvidenceShardExportMerge(t *testing.T) {
 	}
 	if links := dst.LineageLinks(); len(links) != 1 {
 		t.Fatalf("import dropped lineage: %v", links)
+	} else if !links[0].Certified() || string(links[0].Wire) != "wire551" {
+		t.Fatalf("import dropped lineage certificate: %+v", links[0])
 	}
 
 	// MergeShard folds additively: merging the same export into a store that

@@ -312,7 +312,7 @@ func (s *Store) MergeShard(i int, epoch uint64, data []byte) error {
 // routes to shard i. Bytes after the tally part are the optional lineage +
 // evidence sections; evidence is attached to the decoded subject states, and
 // the lineage links are returned for the caller to fold in.
-func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectState, [][2]pkc.NodeID, error) {
+func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectState, []LineageLink, error) {
 	d := snapReader{buf: body}
 	count := d.u32()
 	subjects := make(map[pkc.NodeID]*subjectState, min(int(count), 4096))
@@ -344,7 +344,7 @@ func (s *Store) decodeShardBody(i int, body []byte) (map[pkc.NodeID]*subjectStat
 		}
 		subjects[subject] = st
 	}
-	var links [][2]pkc.NodeID
+	var links []LineageLink
 	if d.err == nil && d.off < len(d.buf) {
 		links = decodeLineageSection(&d)
 		decodeEvidenceSection(&d, func(subject pkc.NodeID, evs []evrec, truncated bool) bool {

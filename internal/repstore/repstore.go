@@ -184,10 +184,11 @@ type Store struct {
 	// lineage records every identity Merge the store has applied, old → new,
 	// for auditors: a proof bundle spanning a §3.5 key rotation carries
 	// evidence signed over the old subject ID, and the verifier needs the
-	// link to accept it against the new ID's tally. Persisted in the
-	// snapshot; WAL replay of the merge ops rebuilds the tail.
+	// link — with its key-update certificate, when the merge came from a
+	// verified rotation — to accept it against the new ID's tally. Persisted
+	// in the snapshot; WAL replay of the merge ops rebuilds the tail.
 	lineMu  sync.Mutex
-	lineage map[pkc.NodeID]pkc.NodeID
+	lineage map[pkc.NodeID]lineageVal
 
 	dir       string // "" for memory-only
 	wal       *wal   // nil for memory-only
@@ -198,6 +199,16 @@ type Store struct {
 type mergeMark struct {
 	epoch uint64
 	shard uint32
+}
+
+// lineageVal is the lineage table's record for one rotated-away identity:
+// where its state went, plus the key-update certificate (old signing key and
+// signed update wire) when the merge was certified. Empty sp/wire mark an
+// uncertified link a bare Merge recorded.
+type lineageVal struct {
+	newID pkc.NodeID
+	sp    []byte
+	wire  []byte
 }
 
 // Open creates or reopens a store. dir == "" selects the pure in-memory
@@ -216,7 +227,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		n <<= 1
 	}
 	s := &Store{opts: opts, mask: uint64(n - 1), shards: make([]shard, n), dir: dir,
-		merged: make(map[mergeMark]bool), lineage: make(map[pkc.NodeID]pkc.NodeID)}
+		merged: make(map[mergeMark]bool), lineage: make(map[pkc.NodeID]lineageVal)}
 	for i := range s.shards {
 		s.shards[i].subjects = make(map[pkc.NodeID]*subjectState)
 	}
@@ -371,18 +382,43 @@ func (s *Store) Append(r Record) error {
 // The operation is logged, so replay reproduces it in order. A merge touching
 // a sealed shard is refused: moving tallies into or out of a shard whose
 // export has (or is about to be) cut would fork the count between the old and
-// new owner.
+// new owner. The recorded lineage link is uncertified — a proof bundle
+// cannot ship it (see MergeCertified).
 func (s *Store) Merge(oldID, newID pkc.NodeID) error {
+	return s.merge(walOp{kind: kindMerge, oldID: oldID, newID: newID})
+}
+
+// MergeCertified is Merge carrying the §3.5 key-update certificate: the
+// rotated-away identity's signing key and the signed update wire that
+// authorizes the succession. The store persists both opaquely alongside the
+// lineage link (WAL op, snapshot, shard export) so a proof bundle spanning
+// the rotation can prove the link to a verifier — the caller (agentdir) must
+// have verified the wire with pkc.VerifyKeyUpdate before merging.
+func (s *Store) MergeCertified(oldID, newID pkc.NodeID, oldSP, updWire []byte) error {
+	if len(oldSP) == 0 || len(updWire) == 0 {
+		return s.Merge(oldID, newID)
+	}
+	if len(oldSP) > maxEvidenceKey || len(updWire) > maxEvidenceWire {
+		return ErrRecordTooLarge
+	}
+	// Copy: the caller's slices may alias a network buffer it reuses, and the
+	// store retains lineage indefinitely.
+	op := walOp{kind: kindMergeCert, oldID: oldID, newID: newID}
+	op.oldSP = append([]byte(nil), oldSP...)
+	op.updWire = append([]byte(nil), updWire...)
+	return s.merge(op)
+}
+
+func (s *Store) merge(op walOp) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
 	s.applyMu.RLock()
-	if s.shards[s.shardIndex(oldID)].sealed || s.shards[s.shardIndex(newID)].sealed {
+	if s.shards[s.shardIndex(op.oldID)].sealed || s.shards[s.shardIndex(op.newID)].sealed {
 		s.applyMu.RUnlock()
 		return ErrShardSealed
 	}
 	var err error
-	op := walOp{kind: kindMerge, oldID: oldID, newID: newID}
 	if s.wal == nil {
 		s.applyOp(op)
 		s.emitOp(op)
@@ -446,23 +482,22 @@ func (s *Store) applyOp(op walOp) {
 		sh.digValid = false
 		sh.mu.Unlock()
 		s.reports.Add(1)
-	case kindMerge:
-		s.applyMerge(op.oldID, op.newID)
+	case kindMerge, kindMergeCert:
+		s.applyMerge(op)
 	}
 }
 
-// applyMerge moves oldID's subject state into newID, locking at most two
-// shards in index order to stay deadlock-free.
-func (s *Store) applyMerge(oldID, newID pkc.NodeID) {
+// applyMerge moves the old subject state into the new one, locking at most
+// two shards in index order to stay deadlock-free.
+func (s *Store) applyMerge(op walOp) {
+	oldID, newID := op.oldID, op.newID
 	if oldID == newID {
 		return
 	}
 	// Record the lineage link even when oldID has no subject state: a rotation
 	// audit needs the old→new binding regardless of whether anyone had filed
 	// about the old identity yet.
-	s.lineMu.Lock()
-	s.lineage[oldID] = newID
-	s.lineMu.Unlock()
+	s.addLineage([]LineageLink{{Old: oldID, New: newID, OldSP: op.oldSP, Wire: op.updWire}})
 	i, j := s.shardIndex(oldID), s.shardIndex(newID)
 	si, sj := &s.shards[i], &s.shards[j]
 	if i == j {

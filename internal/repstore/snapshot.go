@@ -33,8 +33,11 @@ import (
 // markers: the merge-lineage section, then the evidence section (layouts in
 // evidence.go). Both fold into the snapshot for the same reason the markers
 // do — evidence torn from the tally it backs would turn honest bundles
-// partial (or worse, unverifiable) after a restart. HRSNAP03/02 snapshots
-// still load, with empty evidence and lineage.
+// partial (or worse, unverifiable) after a restart. HRSNAP05 extends the
+// lineage section with each link's key-update certificate, so a bundle
+// spanning a §3.5 rotation stays provable after compaction. HRSNAP04/03/02
+// snapshots still load — 04's IDs-only lineage loads uncertified, 03/02 with
+// empty evidence and lineage.
 //
 // epoch is the snapshot's WAL replay floor: the snapshot contains every
 // record from WAL epochs below it, so recovery replays only epoch files at
@@ -48,7 +51,8 @@ import (
 // the expected crash artifact).
 const (
 	snapName     = "snapshot"
-	snapMagic    = "HRSNAP04"
+	snapMagic    = "HRSNAP05"
+	snapMagicV4  = "HRSNAP04" // pre-certificate lineage layout, still loadable
 	snapMagicV3  = "HRSNAP03" // pre-evidence format, still loadable
 	snapMagicV2  = "HRSNAP02" // pre-marker format, still loadable
 	snapMagicLen = 8
@@ -162,7 +166,17 @@ func (s *Store) loadSnapshot() (uint64, error) {
 		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 	}
 	magic := string(buf[:snapMagicLen])
-	if magic != snapMagic && magic != snapMagicV3 && magic != snapMagicV2 {
+	ver := 0
+	switch magic {
+	case snapMagic:
+		ver = 5
+	case snapMagicV4:
+		ver = 4
+	case snapMagicV3:
+		ver = 3
+	case snapMagicV2:
+		ver = 2
+	default:
 		return 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 	}
 	hdr := buf[snapMagicLen:]
@@ -178,7 +192,7 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	if want != crc {
 		return 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
 	}
-	if err := s.decodeState(body, magic != snapMagicV2, magic == snapMagic); err != nil {
+	if err := s.decodeState(body, ver); err != nil {
 		return 0, err
 	}
 	return epoch, nil
@@ -186,10 +200,11 @@ func (s *Store) loadSnapshot() (uint64, error) {
 
 // decodeState parses a snapshot body into the shards. The body passed its
 // CRC, so structural violations still mean corruption (or a version skew)
-// and error out rather than guessing. withMarkers selects whether a handoff
-// merge-marker section follows the subjects (HRSNAP03+); withEvidence
-// whether the lineage + evidence sections follow the markers (HRSNAP04+).
-func (s *Store) decodeState(body []byte, withMarkers, withEvidence bool) error {
+// and error out rather than guessing. ver is the format version the magic
+// declared: 3+ has the handoff merge-marker section after the subjects, 4+
+// the lineage + evidence sections after the markers, 5+ the certified
+// lineage layout (4 carries IDs only).
+func (s *Store) decodeState(body []byte, ver int) error {
 	d := snapReader{buf: body}
 	count := d.u32()
 	total := int64(0)
@@ -219,7 +234,7 @@ func (s *Store) decodeState(body []byte, withMarkers, withEvidence bool) error {
 		s.shardFor(subject).subjects[subject] = st
 		total += int64(pos + neg)
 	}
-	if withMarkers {
+	if ver >= 3 {
 		nmark := d.u32()
 		for i := uint32(0); i < nmark; i++ {
 			mark := mergeMark{epoch: d.u64(), shard: d.u32()}
@@ -229,8 +244,12 @@ func (s *Store) decodeState(body []byte, withMarkers, withEvidence bool) error {
 			s.merged[mark] = true
 		}
 	}
-	if withEvidence {
-		s.addLineage(decodeLineageSection(&d))
+	if ver >= 4 {
+		if ver >= 5 {
+			s.addLineage(decodeLineageSection(&d))
+		} else {
+			s.addLineage(decodeLineageSectionV4(&d))
+		}
 		decodeEvidenceSection(&d, func(subject pkc.NodeID, evs []evrec, truncated bool) bool {
 			st := s.shardFor(subject).subjects[subject]
 			if st == nil {

@@ -73,14 +73,20 @@ const (
 	// op, so the evidence log (DESIGN.md §14) is WAL-consistent with the
 	// count it backs by construction — there is no second log to tear.
 	kindReportEv byte = 3
+	// kindMergeCert is a merge carrying its §3.5 key-update certificate — the
+	// rotated-away identity's signing key plus the signed update wire — so the
+	// lineage link stays provable to bundle verifiers across replay.
+	kindMergeCert byte = 4
 )
 
 // walOp is one logged operation: an accepted report or a key-rotation merge.
 type walOp struct {
-	kind  byte
-	rec   Record     // kindReport
-	oldID pkc.NodeID // kindMerge
-	newID pkc.NodeID
+	kind    byte
+	rec     Record     // kindReport / kindReportEv
+	oldID   pkc.NodeID // kindMerge / kindMergeCert
+	newID   pkc.NodeID
+	oldSP   []byte // kindMergeCert: the old identity's signing key
+	updWire []byte // kindMergeCert: the signed key-update wire
 }
 
 // reportPayloadSize is kind + reporter + subject + flag + nonce.
@@ -88,6 +94,11 @@ const reportPayloadSize = 1 + pkc.NodeIDSize + pkc.NodeIDSize + 1 + pkc.NonceSiz
 
 // mergePayloadSize is kind + old + new.
 const mergePayloadSize = 1 + pkc.NodeIDSize + pkc.NodeIDSize
+
+// mergeCertBaseSize is a kindMergeCert payload before the two variable-length
+// certificate fields: the kindMerge layout plus a u8 key length and u16le
+// wire length.
+const mergeCertBaseSize = mergePayloadSize + 1 + 2
 
 // Evidence field bounds. The store treats the key and wire as opaque bytes
 // (agentdir owns their formats), so the bounds are generous caps against a
@@ -135,6 +146,16 @@ func encodeOp(dst []byte, op walOp) []byte {
 		dst = append(dst, kindMerge)
 		dst = append(dst, op.oldID[:]...)
 		dst = append(dst, op.newID[:]...)
+	case kindMergeCert:
+		dst = append(dst, kindMergeCert)
+		dst = append(dst, op.oldID[:]...)
+		dst = append(dst, op.newID[:]...)
+		dst = append(dst, byte(len(op.oldSP)))
+		var wl [2]byte
+		binary.LittleEndian.PutUint16(wl[:], uint16(len(op.updWire)))
+		dst = append(dst, wl[:]...)
+		dst = append(dst, op.oldSP...)
+		dst = append(dst, op.updWire...)
 	}
 	return dst
 }
@@ -204,6 +225,27 @@ func decodeOp(p []byte) (walOp, error) {
 		op := walOp{kind: kindMerge}
 		copy(op.oldID[:], p[1:1+pkc.NodeIDSize])
 		copy(op.newID[:], p[1+pkc.NodeIDSize:])
+		return op, nil
+	case kindMergeCert:
+		if len(p) < mergeCertBaseSize {
+			return walOp{}, ErrCorruptRecord
+		}
+		op := walOp{kind: kindMergeCert}
+		p = p[1:]
+		copy(op.oldID[:], p[:pkc.NodeIDSize])
+		p = p[pkc.NodeIDSize:]
+		copy(op.newID[:], p[:pkc.NodeIDSize])
+		p = p[pkc.NodeIDSize:]
+		spLen := int(p[0])
+		wireLen := int(binary.LittleEndian.Uint16(p[1:3]))
+		p = p[3:]
+		if spLen == 0 || wireLen == 0 || wireLen > maxEvidenceWire || len(p) != spLen+wireLen {
+			return walOp{}, ErrCorruptRecord
+		}
+		// Copy: decode buffers are recovery reads or replicated batches whose
+		// backing arrays must not be pinned by the retained lineage table.
+		op.oldSP = append([]byte(nil), p[:spLen]...)
+		op.updWire = append([]byte(nil), p[spLen:]...)
 		return op, nil
 	default:
 		return walOp{}, errUnknownRecordKind
