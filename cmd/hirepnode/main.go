@@ -82,6 +82,17 @@
 //	hirepnode -listen 127.0.0.1:7001 -agent -store /var/lib/hirep \
 //	          -evidence 256 -proof-cache 1024 -snapshot-ttl 60s
 //
+// Run the self-healing trust plane (DESIGN.md §15) — a background auditor
+// samples subjects across the node's discovered agents, re-verifies their
+// proof bundles, cross-checks a second agent, and turns provable lies into
+// signed advisories gossiped to neighbors; verified liars are quarantined
+// (probation-probed) and evicted on a second distinct offense, with standbys
+// promoted into vacated slots. Requires -relays for the audit reply route:
+//
+//	hirepnode -listen 127.0.0.1:7007 -relays 127.0.0.1:7002,127.0.0.1:7003 \
+//	          -neighbors 127.0.0.1:7002 \
+//	          -audit-interval 30s -audit-sample 4 -audit-quarantine-threshold 3
+//
 // Run the full zero-config demonstration on loopback — an agent, a reporter,
 // a requestor, and a relay chain exchanging onion-routed trust traffic:
 //
@@ -108,11 +119,12 @@ var bookQuorum = 1
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "listen address")
-		agent  = flag.Bool("agent", false, "serve as a reputation agent")
-		store  = flag.String("store", "", "durable report store directory (agents only; empty = in-memory)")
-		relays = flag.String("relays", "", "comma-separated relay addresses to publish an onion through")
-		demo   = flag.Bool("demo", false, "run the loopback demonstration fleet and exit")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		agent     = flag.Bool("agent", false, "serve as a reputation agent")
+		store     = flag.String("store", "", "durable report store directory (agents only; empty = in-memory)")
+		relays    = flag.String("relays", "", "comma-separated relay addresses to publish an onion through")
+		neighbors = flag.String("neighbors", "", "comma-separated node addresses for agent-discovery walks and advisory gossip")
+		demo      = flag.Bool("demo", false, "run the loopback demonstration fleet and exit")
 
 		// Resilience knobs (DESIGN.md §8).
 		probeTimeout = flag.Duration("probe-timeout", 0, "liveness-probe deadline (0 = default 750ms)")
@@ -160,6 +172,11 @@ func main() {
 		evidence    = flag.Int("evidence", 0, "signed report wires retained per subject for proof bundles, agents only (0 = tallies only)")
 		proofCache  = flag.Int("proof-cache", 0, "proof payload cache entries (0 = no cache; required for edge-cache serving)")
 		snapshotTTL = flag.Duration("snapshot-ttl", 0, "trust-snapshot validity and proof-cache entry lifetime (0 = default 60s)")
+
+		// Self-healing audit knobs (DESIGN.md §15).
+		auditInterval = flag.Duration("audit-interval", 0, "background audit sweep cadence (0 = auditing off; requires -relays)")
+		auditSample   = flag.Int("audit-sample", 0, "subjects audited per sweep (0 = default 4)")
+		auditQuar     = flag.Int("audit-quarantine-threshold", 0, "suspect strikes before an agent is quarantined (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -188,6 +205,14 @@ func main() {
 	}
 	if *evidence != 0 && !*agent {
 		fmt.Fprintln(os.Stderr, "hirepnode: -evidence requires -agent")
+		os.Exit(2)
+	}
+	if *auditInterval > 0 && *relays == "" {
+		fmt.Fprintln(os.Stderr, "hirepnode: -audit-interval requires -relays (the audit reply route)")
+		os.Exit(2)
+	}
+	if *auditInterval > 0 && *neighbors == "" {
+		fmt.Fprintln(os.Stderr, "hirepnode: -audit-interval requires -neighbors (agent discovery and advisory gossip)")
 		os.Exit(2)
 	}
 	var replicaAddrs []string
@@ -229,37 +254,40 @@ func main() {
 	}
 
 	n, err := node.Listen(*listen, node.Options{
-		Agent:               *agent,
-		StoreDir:            *store,
-		Group:               *group,
-		StoreShards:         *storeShards,
-		PlacementSources:    placeSourceAddrs,
-		PlacementAuthority:  authority,
-		HandoffPeers:        parseIDs("-handoff-peers", *handoffPeers),
-		Replicas:            replicaAddrs,
-		ReplicaOf:           parseIDs("-replica-of", *replicaOf),
-		ReplicaPeers:        parseIDs("-replica-peers", *replicaPeers),
-		SyncInterval:        *syncInterval,
-		HandoffCap:          *handoffCap,
-		ProbeTimeout:        *probeTimeout,
-		Retry:               resilience.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase},
-		Breaker:             resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
-		OutboxPath:          *outboxPath,
-		OutboxCap:           *outboxCap,
-		OutboxFlushInterval: *outboxFlush,
-		ReportBatchSize:     *reportBatch,
-		VerifyWorkers:       *verifyWorkers,
-		VerifyQueue:         *verifyQueue,
-		PoolSize:            *poolSize,
-		MaxStreams:          *maxStreams,
-		IdleTimeout:         *idleTimeout,
-		MaxSessions:         *maxSessions,
-		AdmissionPoWBits:    *admissionPoW,
-		AdmissionRate:       *admissionRate,
-		AdmissionBurst:      *admissionBurst,
-		EvidenceCap:         *evidence,
-		ProofCache:          *proofCache,
-		SnapshotTTL:         *snapshotTTL,
+		Agent:                    *agent,
+		StoreDir:                 *store,
+		Group:                    *group,
+		StoreShards:              *storeShards,
+		PlacementSources:         placeSourceAddrs,
+		PlacementAuthority:       authority,
+		HandoffPeers:             parseIDs("-handoff-peers", *handoffPeers),
+		Replicas:                 replicaAddrs,
+		ReplicaOf:                parseIDs("-replica-of", *replicaOf),
+		ReplicaPeers:             parseIDs("-replica-peers", *replicaPeers),
+		SyncInterval:             *syncInterval,
+		HandoffCap:               *handoffCap,
+		ProbeTimeout:             *probeTimeout,
+		Retry:                    resilience.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase},
+		Breaker:                  resilience.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		OutboxPath:               *outboxPath,
+		OutboxCap:                *outboxCap,
+		OutboxFlushInterval:      *outboxFlush,
+		ReportBatchSize:          *reportBatch,
+		VerifyWorkers:            *verifyWorkers,
+		VerifyQueue:              *verifyQueue,
+		PoolSize:                 *poolSize,
+		MaxStreams:               *maxStreams,
+		IdleTimeout:              *idleTimeout,
+		MaxSessions:              *maxSessions,
+		AdmissionPoWBits:         *admissionPoW,
+		AdmissionRate:            *admissionRate,
+		AdmissionBurst:           *admissionBurst,
+		EvidenceCap:              *evidence,
+		ProofCache:               *proofCache,
+		SnapshotTTL:              *snapshotTTL,
+		AuditInterval:            *auditInterval,
+		AuditSample:              *auditSample,
+		AuditQuarantineThreshold: *auditQuar,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -284,6 +312,15 @@ func main() {
 		}
 	}
 	fmt.Printf("hirep node %s (%s) listening on %s\n", n.ID().Short(), role, n.Addr())
+	if *neighbors != "" {
+		var addrs []string
+		for _, a := range strings.Split(*neighbors, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		n.SetNeighbors(addrs)
+	}
 	if *agent {
 		// The full ID is what operators paste into a standby's -replica-of
 		// (and fellow standbys' -replica-peers) to pair the replica group.
@@ -291,17 +328,57 @@ func main() {
 	}
 
 	if *relays != "" {
-		route, err := fetchRoute(n, strings.Split(*relays, ","))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var relayAddrs []string
+		for _, a := range strings.Split(*relays, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				relayAddrs = append(relayAddrs, a)
+			}
 		}
-		o, err := n.BuildOnion(route)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var o *onion.Onion
+		if *agent {
+			// PublishDescriptor caches the descriptor so §3.4.1 agent-list
+			// walks can return this agent — printing alone keeps it
+			// invisible to discovery.
+			desc, err := n.PublishDescriptor(relayAddrs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			info, err := node.DecodeInfo(desc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			o = info.Onion
+			fmt.Printf("descriptor (give to peers):\n%s\n", desc)
+		} else {
+			route, err := fetchRoute(n, relayAddrs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			o, err = n.BuildOnion(route)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("descriptor (give to peers):\n%s\n", node.EncodeInfo(n.Info(o)))
 		}
-		fmt.Printf("descriptor (give to peers):\n%s\n", node.EncodeInfo(n.Info(o)))
+
+		if *auditInterval > 0 {
+			// The auditor sweeps the discovered agent book, answering through
+			// this node's own onion (DESIGN.md §15).
+			book, err := hirepBookFor(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "audit: agent discovery:", err)
+				os.Exit(1)
+			}
+			if err := n.StartAuditor(book, o); err != nil {
+				fmt.Fprintln(os.Stderr, "audit:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("auditing %d agent(s) every %s\n", book.Len(), *auditInterval)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,61 @@
+package audit
+
+import (
+	"bytes"
+	"testing"
+
+	"hirep/internal/pkc"
+	"hirep/internal/proof"
+)
+
+// fuzzIdent derives a deterministic identity for seed corpora (fuzz seeds
+// must be stable across runs).
+func fuzzIdent(tb testing.TB, b byte) *pkc.Identity {
+	tb.Helper()
+	seed := bytes.Repeat([]byte{b, b ^ 0x5a, ^b}, 512)
+	id, err := pkc.NewIdentity(bytes.NewReader(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return id
+}
+
+// FuzzDecodeAdvisory is the advisory codec contract: DecodeAdvisory either
+// rejects the input or accepts it into an advisory whose re-encoding is
+// byte-identical — the canonical form the gossip digest dedups by.
+func FuzzDecodeAdvisory(f *testing.F) {
+	auditor := fuzzIdent(f, 1)
+	agent := fuzzIdent(f, 2)
+
+	bundle := &proof.Bundle{Subject: fuzzIdent(f, 3).ID, Epoch: 7}
+	bundle.Sign(agent)
+
+	empty := &Advisory{Accused: agent.ID, Issued: 11, Bundle: bundle.Encode()}
+	empty.Sign(auditor)
+	f.Add(empty.Encode())
+
+	full := &Advisory{
+		Accused: agent.ID,
+		Reason:  "published 5/1, evidence recomputes 3/1",
+		Issued:  1700000000,
+		Bundle:  bundle.Encode(),
+		Suspects: []SuspectReporter{
+			{Reporter: fuzzIdent(f, 4).ID, Negative: 9, Total: 10},
+			{Reporter: fuzzIdent(f, 5).ID, Negative: 7, Total: 7},
+		},
+	}
+	full.Sign(auditor)
+	f.Add(full.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAdvisory(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(a.Encode(), data) {
+			t.Fatalf("accepted non-canonical advisory encoding: %x", data)
+		}
+	})
+}

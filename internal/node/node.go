@@ -191,6 +191,15 @@ type Options struct {
 	// lifetime (default 60s) — the only freshness an untrusted cache can
 	// degrade.
 	SnapshotTTL time.Duration
+	// AuditInterval is the cadence of the background audit sweep started by
+	// StartAuditor (DESIGN.md §15). 0 disables the periodic loop; AuditSweep
+	// can still be driven manually.
+	AuditInterval time.Duration
+	// AuditSample caps the subjects audited per sweep (default 4).
+	AuditSample int
+	// AuditQuarantineThreshold is the suspect-strike count at which the
+	// audited book quarantines an agent (default 3).
+	AuditQuarantineThreshold int
 }
 
 // AgentInfo is what a trusted-agent list entry holds about an agent in the
@@ -293,6 +302,16 @@ type Node struct {
 	agentCache    map[pkc.NodeID]string
 	discoveries   map[pkc.Nonce]*discoveryCollect
 	walksSeen     *pkc.ReplayCache
+
+	// Audit plumbing (audit.go): the auditor state machine behind
+	// StartAuditor/AuditSweep, gossip dedup, the verified-advisory log, and
+	// the per-accused verified-lying-evidence ledger driving the
+	// quarantine → eviction escalation.
+	auditor       *auditor
+	auditMu       sync.Mutex
+	advSeen       *pkc.ReplayCache // advisory digests already processed
+	advisLog      []AdvisoryRecord // bounded log of verified advisories
+	lyingEvidence map[pkc.NodeID]map[[32]byte]bool
 }
 
 // relayAlias is the onion-route hop type returned by FetchAnonKey.
@@ -391,6 +410,12 @@ func Listen(addr string, opts Options) (*Node, error) {
 	}
 	if opts.SnapshotTTL <= 0 {
 		opts.SnapshotTTL = defaultSnapshotTTL
+	}
+	if opts.AuditSample <= 0 {
+		opts.AuditSample = defaultAuditSample
+	}
+	if opts.AuditQuarantineThreshold <= 0 {
+		opts.AuditQuarantineThreshold = defaultAuditQuarantineThreshold
 	}
 	if len(opts.Replicas) > 0 && !opts.Agent {
 		return nil, fmt.Errorf("node: Replicas requires Agent")
@@ -662,6 +687,8 @@ func (n *Node) handleOnion(payload []byte) {
 		n.handleProofReq(inner)
 	case wire.TProofResp:
 		n.handleProofResp(inner)
+	case wire.TAdvisory:
+		n.handleAdvisory(inner)
 	}
 }
 

@@ -66,7 +66,7 @@ func flatMap(epoch uint64, shards int, groups []overlay.Group, owner int) *overl
 // subjectOwnedBy draws random subject IDs until one routes to group g.
 func subjectOwnedBy(t testing.TB, m *overlay.Map, g int) pkc.NodeID {
 	t.Helper()
-	for i := 0; i < 1 << 16; i++ {
+	for i := 0; i < 1<<16; i++ {
 		var id pkc.NodeID
 		if _, err := rand.Read(id[:]); err != nil {
 			t.Fatal(err)

@@ -183,7 +183,14 @@ func (n *Node) RequestTrustProven(agent AgentInfo, subject pkc.NodeID, replyOnio
 }
 
 func (n *Node) requestTrustProvenOnce(agent AgentInfo, subject pkc.NodeID, replyOnion *onion.Onion) (*proof.Bundle, proof.Result, error) {
-	kind, payload, err := n.requestProofOnce(agent, subject, replyOnion, false, n.timeout())
+	return n.requestTrustProvenWait(agent, subject, replyOnion, n.timeout())
+}
+
+// requestTrustProvenWait is requestTrustProvenOnce under an explicit wait
+// budget — the auditor's fetch path, where a per-sweep deadline caps each
+// probe rather than the node's full request timeout.
+func (n *Node) requestTrustProvenWait(agent AgentInfo, subject pkc.NodeID, replyOnion *onion.Onion, wait time.Duration) (*proof.Bundle, proof.Result, error) {
+	kind, payload, err := n.requestProofOnce(agent, subject, replyOnion, false, wait)
 	if err != nil {
 		return nil, proof.Result{}, err
 	}

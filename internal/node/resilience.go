@@ -88,6 +88,21 @@ type resilienceCounters struct {
 	proofCacheHits   *metrics.Counter
 	proofCacheMisses *metrics.Counter
 
+	// Self-healing trust plane (DESIGN.md §15): auditor progress, advisory
+	// gossip intake, book lifecycle actions, and the slander-suspect gauge.
+	auditSweeps         *metrics.Counter
+	auditProbes         *metrics.Counter
+	auditFailures       *metrics.Counter
+	auditDiverged       *metrics.Counter
+	advisoriesIssued    *metrics.Counter
+	advisoriesAccepted  *metrics.Counter
+	advisoriesRejected  *metrics.Counter
+	advisoriesDuplicate *metrics.Counter
+	agentsQuarantined   *metrics.Counter
+	agentsRehabilitated *metrics.Counter
+	agentsEvicted       *metrics.Counter
+	slanderSuspects     *metrics.Gauge
+
 	// Agent report-store health, mirrored from repstore by
 	// updateStoreHealth so shutdown dumps and scrapes see WAL growth and
 	// compaction trouble.
@@ -138,6 +153,18 @@ func (c *resilienceCounters) bind(r *metrics.Registry) {
 	c.proofsLying = r.Counter("node_proofs_lying_total")
 	c.proofCacheHits = r.Counter("node_proof_cache_hits_total")
 	c.proofCacheMisses = r.Counter("node_proof_cache_misses_total")
+	c.auditSweeps = r.Counter("node_audit_sweeps_total")
+	c.auditProbes = r.Counter("node_audit_probes_total")
+	c.auditFailures = r.Counter("node_audit_failures_total")
+	c.auditDiverged = r.Counter("node_audit_diverged_total")
+	c.advisoriesIssued = r.Counter("node_advisories_issued_total")
+	c.advisoriesAccepted = r.Counter("node_advisories_accepted_total")
+	c.advisoriesRejected = r.Counter("node_advisories_rejected_total")
+	c.advisoriesDuplicate = r.Counter("node_advisories_duplicate_total")
+	c.agentsQuarantined = r.Counter("node_agents_quarantined_total")
+	c.agentsRehabilitated = r.Counter("node_agents_rehabilitated_total")
+	c.agentsEvicted = r.Counter("node_agents_evicted_total")
+	c.slanderSuspects = r.Gauge("node_slander_suspects_total")
 	c.storeWALBytes = r.Gauge("node_store_wal_bytes")
 	c.storeCompactFailures = r.Gauge("node_store_compact_failures")
 	c.storeCompactErr = r.Gauge("node_store_compact_err")

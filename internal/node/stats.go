@@ -76,11 +76,29 @@ type Stats struct {
 	ProofsLying      int64 // verified bundles proving their agent lied
 	ProofCacheHits   int64 // proof payloads served straight from cache
 	ProofCacheMisses int64 // proof requests that had to assemble or forward
+
+	// Self-healing trust plane (DESIGN.md §15). Sweep/probe/failure counters
+	// track the background auditor; advisory counters split gossip intake
+	// into accepted (verified end to end), rejected (failed any check — never
+	// acted on), and duplicate; the lifecycle counters record book actions
+	// taken on verified evidence.
+	AuditSweeps          int64 // audit sweeps completed
+	AuditProbes          int64 // per-agent audit fetches attempted (incl. probation)
+	AuditFailures        int64 // audits abandoned without a verdict (timeout, Partial, unreachable)
+	AuditDiverged        int64 // cross-checks where two agents' bundles disagreed
+	AdvisoriesIssued     int64 // advisories this node signed and gossiped
+	AdvisoriesAccepted   int64 // received advisories that passed full re-verification
+	AdvisoriesRejected   int64 // received advisories rejected (malformed, unsigned, unproven)
+	AdvisoriesDuplicate  int64 // received advisories already processed (gossip dedup)
+	AgentsQuarantined    int64 // agents moved to quarantine on verified evidence
+	AgentsRehabilitated  int64 // suspects cleared by a Matching re-audit
+	AgentsEvicted        int64 // agents evicted (second strike of verified evidence)
+	SlanderSuspectsFound int64 // slander-suspect reporters flagged by skew scans
 }
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d) admission(required=%d admitted=%d replayed=%d throttled=%d solved=%d work=%d) proof(served=%d verified=%d partial=%d lying=%d cachehit=%d cachemiss=%d)",
+	return fmt.Sprintf("frames=%d bad=%d(read=%d decode=%d) shed=%d fwd=%d exit=%d rejected=%d served=%d reports=%d walks=%d deferred=%d lost=%d ingest(batches=%d replay=%d key=%d malformed=%d storefail=%d shed=%d wrongowner=%d) acks(stored=%d rejected=%d) repl(batches=%d shipped=%d applied=%d repairs=%d pulled=%d) overlay(adopted=%d rejected=%d redirects=%d sealed=%d pulled=%d) admission(required=%d admitted=%d replayed=%d throttled=%d solved=%d work=%d) proof(served=%d verified=%d partial=%d lying=%d cachehit=%d cachemiss=%d) audit(sweeps=%d probes=%d failures=%d diverged=%d issued=%d accepted=%d rejected=%d dup=%d quarantined=%d rehabbed=%d evicted=%d slander=%d)",
 		s.FramesIn, s.FramesBad, s.FramesReadErr, s.FramesDecodeErr,
 		s.SessionsShed, s.OnionsForwarded, s.OnionsExited,
 		s.OnionsRejected, s.TrustServed, s.ReportsStored, s.WalksAnswered,
@@ -95,7 +113,11 @@ func (s Stats) String() string {
 		s.AdmissionRequired, s.AdmissionAdmitted, s.AdmissionReplayed,
 		s.AdmissionThrottled, s.AdmissionSolved, s.AdmissionWork,
 		s.ProofsServed, s.ProofsVerified, s.ProofsPartial, s.ProofsLying,
-		s.ProofCacheHits, s.ProofCacheMisses)
+		s.ProofCacheHits, s.ProofCacheMisses,
+		s.AuditSweeps, s.AuditProbes, s.AuditFailures, s.AuditDiverged,
+		s.AdvisoriesIssued, s.AdvisoriesAccepted, s.AdvisoriesRejected,
+		s.AdvisoriesDuplicate, s.AgentsQuarantined, s.AgentsRehabilitated,
+		s.AgentsEvicted, s.SlanderSuspectsFound)
 }
 
 // nodeStats is the atomic backing store.
@@ -125,6 +147,13 @@ type nodeStats struct {
 	proofsServed, proofsVerified     atomic.Int64
 	proofsPartial, proofsLying       atomic.Int64
 	proofCacheHits, proofCacheMisses atomic.Int64
+
+	auditSweeps, auditProbes                atomic.Int64
+	auditFailures, auditDiverged            atomic.Int64
+	advisoriesIssued, advisoriesAccepted    atomic.Int64
+	advisoriesRejected, advisoriesDuplicate atomic.Int64
+	agentsQuarantined, agentsRehabilitated  atomic.Int64
+	agentsEvicted, slanderSuspectsFound     atomic.Int64
 }
 
 // Stats returns a snapshot of the node's counters. Taking a snapshot also
@@ -181,6 +210,19 @@ func (n *Node) Stats() Stats {
 		ProofsLying:      n.stats.proofsLying.Load(),
 		ProofCacheHits:   n.stats.proofCacheHits.Load(),
 		ProofCacheMisses: n.stats.proofCacheMisses.Load(),
+
+		AuditSweeps:          n.stats.auditSweeps.Load(),
+		AuditProbes:          n.stats.auditProbes.Load(),
+		AuditFailures:        n.stats.auditFailures.Load(),
+		AuditDiverged:        n.stats.auditDiverged.Load(),
+		AdvisoriesIssued:     n.stats.advisoriesIssued.Load(),
+		AdvisoriesAccepted:   n.stats.advisoriesAccepted.Load(),
+		AdvisoriesRejected:   n.stats.advisoriesRejected.Load(),
+		AdvisoriesDuplicate:  n.stats.advisoriesDuplicate.Load(),
+		AgentsQuarantined:    n.stats.agentsQuarantined.Load(),
+		AgentsRehabilitated:  n.stats.agentsRehabilitated.Load(),
+		AgentsEvicted:        n.stats.agentsEvicted.Load(),
+		SlanderSuspectsFound: n.stats.slanderSuspectsFound.Load(),
 	}
 }
 

@@ -120,11 +120,18 @@ const (
 	// keep interoperating.
 	TProofReq
 	TProofResp
+	// TAdvisory is the onion-inner gossip frame of the audit subsystem
+	// (DESIGN.md §15): a signed, self-contained audit advisory accusing an
+	// agent of provable lying, with the offending proof bundle riding inside
+	// so every receiver re-runs proof.Verify before acting. Pre-§15 nodes
+	// drop the unknown inner type, so advisories degrade to no-ops rather
+	// than errors on mixed fleets.
+	TAdvisory
 )
 
 // NumMsgTypes is one past the highest assigned MsgType, for per-type
 // counter arrays.
-const NumMsgTypes = int(TProofResp) + 1
+const NumMsgTypes = int(TAdvisory) + 1
 
 func (t MsgType) String() string {
 	switch t {
@@ -194,6 +201,8 @@ func (t MsgType) String() string {
 		return "proof-req"
 	case TProofResp:
 		return "proof-resp"
+	case TAdvisory:
+		return "audit-advisory"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
